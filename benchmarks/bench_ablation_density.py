@@ -1,0 +1,138 @@
+"""Ablation — kernel and bandwidth choices in the density substrate.
+
+The paper fixes a Gaussian kernel with Silverman's bandwidth (§2.2).
+This bench varies both and measures the effect on the *per-view*
+selection quality that drives everything downstream: for a set of
+query-centered projections on the Case-1 workload, the best achievable
+F1 of a density-separator selection against the true cluster, as a
+function of (kernel, bandwidth scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.projections import find_query_centered_projection
+from repro.data import synthetic_case1_workload
+from repro.density.bandwidth import silverman_bandwidth
+from repro.density.grid import DensityGrid
+from repro.density.kde import KernelDensityEstimator
+from repro.density.kernels import get_kernel
+from repro.density.profiles import VisualProfile, compute_profile_statistics
+from repro.geometry.subspace import Subspace
+from repro.interaction.base import ProjectionView, ThresholdSweep
+from repro.interaction.oracle import f1_score
+from repro.viz.export import export_table
+
+from bench_utils import format_table, report
+
+KERNELS = ("gaussian", "epanechnikov", "triangular", "uniform")
+SCALES = (0.2, 0.4, 1.0, 2.0)
+N_QUERIES = 3
+
+
+def _best_view_f1(points_2d, query_2d, relevant, kernel_name, scale):
+    """Best separator F1 achievable in one view under a KDE config."""
+    estimator = KernelDensityEstimator(
+        points_2d,
+        kernel=get_kernel(kernel_name),
+        bandwidth=scale * silverman_bandwidth(points_2d),
+    )
+    grid = DensityGrid(points_2d, resolution=50, estimator=estimator,
+                       include=query_2d)
+    stats = compute_profile_statistics(grid, query_2d, points=points_2d)
+    profile = VisualProfile(grid=grid, query_2d=query_2d, statistics=stats)
+    view = ProjectionView(
+        profile=profile,
+        projected_points=points_2d,
+        query_2d=query_2d,
+        subspace=Subspace.from_axes([0, 1], 2),
+        live_indices=np.arange(points_2d.shape[0]),
+        major_index=0,
+        minor_index=0,
+        total_points=points_2d.shape[0],
+    )
+    sweep = ThresholdSweep.over_view(view, steps=24)
+    best = 0.0
+    for mask in sweep.masks:
+        best = max(best, f1_score(mask, relevant))
+    return best
+
+
+@pytest.fixture(scope="module")
+def density_ablation(results_dir):
+    data, workload = synthetic_case1_workload(7, n_queries=N_QUERIES)
+    ds = data.dataset
+    views = []
+    for qi in workload.query_indices.tolist():
+        query = ds.points[qi]
+        found = find_query_centered_projection(
+            ds.points, query, Subspace.full(20), 25,
+            restarts=4, rng=np.random.default_rng(0),
+        )
+        views.append(
+            (
+                found.projection.project(ds.points),
+                found.projection.project(query),
+                ds.labels == ds.label_of(qi),
+            )
+        )
+    table = {}
+    for kernel_name in KERNELS:
+        for scale in SCALES:
+            scores = [
+                _best_view_f1(p, q, rel, kernel_name, scale)
+                for p, q, rel in views
+            ]
+            table[(kernel_name, scale)] = float(np.mean(scores))
+    rows = [
+        [kernel_name] + [f"{table[(kernel_name, s)]:.2f}" for s in SCALES]
+        for kernel_name in KERNELS
+    ]
+    text = format_table(
+        ["Kernel \\ bandwidth scale"] + [str(s) for s in SCALES], rows
+    )
+    report("ablation_kernel_bandwidth", text)
+    export_table(
+        [
+            {"kernel": k, "scale": s, "best_f1": v}
+            for (k, s), v in table.items()
+        ],
+        results_dir / "ablation_kernel_bandwidth.csv",
+    )
+    return table
+
+
+def test_defaults_near_optimal(density_ablation):
+    """The library default (gaussian, 0.4) is within 10% of the best."""
+    best = max(density_ablation.values())
+    assert density_ablation[("gaussian", 0.4)] >= 0.9 * best
+
+
+def test_oversmoothing_hurts(density_ablation):
+    """Scale 2.0 (heavy smoothing) is worse than the default for the
+    Gaussian kernel — the over-smoothing DESIGN.md calls out."""
+    assert (
+        density_ablation[("gaussian", 0.4)]
+        > density_ablation[("gaussian", 2.0)]
+    )
+
+
+def test_kernel_choice_secondary(density_ablation):
+    """At the default scale, all smooth kernels perform comparably."""
+    at_default = [density_ablation[(k, 0.4)] for k in KERNELS]
+    assert max(at_default) - min(at_default) < 0.25
+
+
+def test_density_ablation_benchmark(benchmark, density_ablation):
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(2000, 2))
+    estimator = KernelDensityEstimator(points)
+
+    grid = benchmark.pedantic(
+        lambda: DensityGrid(points, resolution=50, estimator=estimator),
+        rounds=1,
+        iterations=1,
+    )
+    assert grid.density.shape == (50, 50)

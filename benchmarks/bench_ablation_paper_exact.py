@@ -1,0 +1,114 @@
+"""Ablation — paper-exact pseudocode vs. this library's defaults.
+
+EXPERIMENTS.md documents the engineering deviations from the published
+pseudocode (projection restarts, bandwidth scaling).  This bench puts
+numbers on each: retrieval quality on the Case-1 workload under
+
+  * the verbatim paper configuration (``SearchConfig.paper_exact()``),
+  * restarts only,
+  * bandwidth scaling only,
+  * the full library defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    InteractiveNNSearch,
+    OracleUser,
+    SearchConfig,
+    natural_neighbors,
+    retrieval_quality,
+)
+from repro.data import synthetic_case1_workload
+from repro.viz.export import export_table
+
+from bench_utils import format_table, report
+
+N_QUERIES = 4
+
+CONFIGS = {
+    "paper-exact (Fig. 2/3 verbatim)": SearchConfig.paper_exact(support=25),
+    "+ projection restarts": SearchConfig.paper_exact(
+        support=25, projection_restarts=4
+    ),
+    "+ bandwidth scale 0.4": SearchConfig.paper_exact(
+        support=25, bandwidth_scale=0.4
+    ),
+    "library defaults (both)": SearchConfig(support=25),
+}
+
+
+@pytest.fixture(scope="module")
+def paper_exact_results(results_dir):
+    data, workload = synthetic_case1_workload(7, n_queries=N_QUERIES)
+    ds = data.dataset
+    summary = {}
+    for name, config in CONFIGS.items():
+        precisions, recalls = [], []
+        for qi in workload.query_indices.tolist():
+            true = ds.cluster_indices(ds.label_of(qi))
+            result = InteractiveNNSearch(ds, config).run(
+                ds.points[qi], OracleUser(ds, qi)
+            )
+            nn = natural_neighbors(
+                result.probabilities,
+                iterations=len(result.session.major_records),
+            )
+            quality = retrieval_quality(nn, true)
+            precisions.append(quality.precision)
+            recalls.append(quality.recall)
+        summary[name] = (
+            float(np.mean(precisions)),
+            float(np.mean(recalls)),
+        )
+    text = format_table(
+        ["Configuration", "Precision", "Recall"],
+        [[name, f"{p:.1%}", f"{r:.1%}"] for name, (p, r) in summary.items()],
+    )
+    report("ablation_paper_exact", text)
+    export_table(
+        [
+            {"configuration": name, "precision": p, "recall": r}
+            for name, (p, r) in summary.items()
+        ],
+        results_dir / "ablation_paper_exact.csv",
+    )
+    return summary
+
+
+def test_defaults_at_least_match_paper_exact(paper_exact_results):
+    paper_p, paper_r = paper_exact_results["paper-exact (Fig. 2/3 verbatim)"]
+    lib_p, lib_r = paper_exact_results["library defaults (both)"]
+    paper_f1 = 2 * paper_p * paper_r / (paper_p + paper_r) if paper_p + paper_r else 0
+    lib_f1 = 2 * lib_p * lib_r / (lib_p + lib_r) if lib_p + lib_r else 0
+    assert lib_f1 >= paper_f1 - 0.05
+
+
+def test_every_config_functional(paper_exact_results):
+    """Even the verbatim pseudocode produces usable results on Case 1."""
+    for name, (precision, recall) in paper_exact_results.items():
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        assert f1 > 0.5, f"{name}: F1 {f1:.2f}"
+
+
+def test_paper_exact_benchmark(benchmark, paper_exact_results):
+    data, workload = synthetic_case1_workload(7, n_queries=1)
+    ds = data.dataset
+    qi = int(workload.query_indices[0])
+    config = SearchConfig.paper_exact(support=25)
+
+    result = benchmark.pedantic(
+        lambda: InteractiveNNSearch(ds, config).run(
+            ds.points[qi], OracleUser(ds, qi)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.neighbor_indices.size > 0

@@ -1,0 +1,278 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation — these quantify what each piece of
+the system contributes, on the Case-1 workload:
+
+  A1  graded (data-driven) subspace determination vs. random orthogonal
+      2-D views — the value of Fig. 3/4's projection search;
+  A2  oracle vs. heuristic user — how much the quality of human
+      judgement matters;
+  A3  interactive system vs. the automated single-projection baseline
+      (PNN, ref [15]) and full-dimensional L2 — the value of multiple
+      views plus feedback;
+  A4  support sensitivity — robustness to the one user-set parameter;
+  A5  axis-parallel vs. arbitrary projections on Case-1 data (where
+      clusters are axis-parallel, interpretable views cost nothing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FullDimensionalKNN,
+    HeuristicUser,
+    InteractiveNNSearch,
+    OracleUser,
+    ProjectedNN,
+    SearchConfig,
+    natural_neighbors,
+    retrieval_quality,
+)
+from repro.data import synthetic_case1_workload
+from repro.density.profiles import VisualProfile
+from repro.geometry.random_rotation import random_orthogonal_pair_sequence
+from repro.core.projections import orthogonal_projection_sequence
+from repro.viz.export import export_table
+
+from bench_utils import format_table, report
+
+N_QUERIES = 4
+CONFIG = SearchConfig(support=25)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_case1_workload(7, n_queries=N_QUERIES)
+
+
+def _interactive_quality(data, workload_, user_factory, config=CONFIG):
+    precisions, recalls = [], []
+    for qi in workload_.query_indices.tolist():
+        ds = data.dataset
+        true = ds.cluster_indices(ds.label_of(qi))
+        result = InteractiveNNSearch(ds, config).run(
+            ds.points[qi], user_factory(ds, qi)
+        )
+        nn = natural_neighbors(
+            result.probabilities, iterations=len(result.session.major_records)
+        )
+        quality = retrieval_quality(nn, true)
+        precisions.append(quality.precision)
+        recalls.append(quality.recall)
+    return float(np.mean(precisions)), float(np.mean(recalls))
+
+
+# ----------------------------------------------------------------------
+# A1: graded vs. random subspace determination
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ablation_graded(workload, results_dir):
+    data, wl = workload
+    points = data.dataset.points
+    graded_contrast, random_contrast = [], []
+    for qi in wl.query_indices.tolist():
+        query = points[qi]
+        graded = orthogonal_projection_sequence(
+            points, query, 20, 25, restarts=4, rng=np.random.default_rng(0)
+        )
+        for found in graded[:3]:
+            projected = found.projection.project(points)
+            profile = VisualProfile.build(
+                projected, found.projection.project(query),
+                resolution=40, bandwidth_scale=0.4,
+            )
+            graded_contrast.append(profile.statistics.local_contrast)
+        for plane in random_orthogonal_pair_sequence(
+            20, np.random.default_rng(qi)
+        )[:3]:
+            projected = plane.project(points)
+            profile = VisualProfile.build(
+                projected, plane.project(query),
+                resolution=40, bandwidth_scale=0.4,
+            )
+            random_contrast.append(profile.statistics.local_contrast)
+    result = {
+        "graded": float(np.mean(graded_contrast)),
+        "random": float(np.mean(random_contrast)),
+    }
+    text = format_table(
+        ["Subspace choice", "Mean local contrast (first 3 views)"],
+        [
+            ["graded (paper Fig. 3/4)", f"{result['graded']:.1f}x"],
+            ["random orthogonal", f"{result['random']:.1f}x"],
+        ],
+    )
+    report("ablation_graded_vs_random", text)
+    return result
+
+
+def test_ablation_graded_beats_random(ablation_graded):
+    assert ablation_graded["graded"] > 3 * ablation_graded["random"]
+
+
+# ----------------------------------------------------------------------
+# A2: oracle vs. heuristic user
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ablation_users(workload, results_dir):
+    data, wl = workload
+    oracle = _interactive_quality(data, wl, lambda ds, qi: OracleUser(ds, qi))
+    heuristic = _interactive_quality(data, wl, lambda ds, qi: HeuristicUser())
+    rows = [
+        ["oracle (idealized human)", f"{oracle[0]:.1%}", f"{oracle[1]:.1%}"],
+        ["heuristic (unaided human)", f"{heuristic[0]:.1%}", f"{heuristic[1]:.1%}"],
+    ]
+    report(
+        "ablation_oracle_vs_heuristic",
+        format_table(["User model", "Precision", "Recall"], rows),
+    )
+    return {"oracle": oracle, "heuristic": heuristic}
+
+
+def test_ablation_oracle_bounds_heuristic(ablation_users):
+    o_prec, o_rec = ablation_users["oracle"]
+    h_prec, h_rec = ablation_users["heuristic"]
+    assert o_prec > 0.9 and o_rec > 0.9
+    # The heuristic is a lower bound but not useless: its F1 is positive
+    # and below the oracle's.
+    o_f1 = 2 * o_prec * o_rec / (o_prec + o_rec)
+    h_f1 = (
+        2 * h_prec * h_rec / (h_prec + h_rec) if (h_prec + h_rec) > 0 else 0.0
+    )
+    assert h_f1 <= o_f1 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# A3: interactive vs. automated baselines
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ablation_baselines(workload, results_dir):
+    data, wl = workload
+    ds = data.dataset
+    rows = []
+    methods = {}
+    interactive = _interactive_quality(data, wl, lambda d, qi: OracleUser(d, qi))
+    methods["interactive (oracle)"] = interactive
+    for name, searcher_factory in {
+        "full-dim L2": lambda: FullDimensionalKNN(ds),
+        "PNN single projection": lambda: ProjectedNN(ds, support=25),
+    }.items():
+        precisions, recalls = [], []
+        for qi in wl.query_indices.tolist():
+            true = ds.cluster_indices(ds.label_of(qi))
+            k = int(true.size)  # give baselines the true cluster size
+            found = searcher_factory().query(ds.points[qi], k, exclude_index=qi)
+            quality = retrieval_quality(found.neighbor_indices, true)
+            precisions.append(quality.precision)
+            recalls.append(quality.recall)
+        methods[name] = (float(np.mean(precisions)), float(np.mean(recalls)))
+    for name, (prec, rec) in methods.items():
+        rows.append([name, f"{prec:.1%}", f"{rec:.1%}"])
+    report(
+        "ablation_vs_baselines",
+        format_table(["Method", "Precision", "Recall"], rows)
+        + "\n(baselines get k = true cluster size — an advantage)",
+    )
+    export_table(
+        [
+            {"method": name, "precision": p, "recall": r}
+            for name, (p, r) in methods.items()
+        ],
+        results_dir / "ablation_baselines.csv",
+    )
+    return methods
+
+
+def test_ablation_interactive_beats_full_dim(ablation_baselines):
+    interactive = ablation_baselines["interactive (oracle)"]
+    full = ablation_baselines["full-dim L2"]
+    assert interactive[0] > full[0]
+
+
+def test_ablation_interactive_beats_single_projection(ablation_baselines):
+    interactive = ablation_baselines["interactive (oracle)"]
+    pnn = ablation_baselines["PNN single projection"]
+    assert interactive[0] >= pnn[0]
+
+
+# ----------------------------------------------------------------------
+# A4: support sensitivity
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ablation_support(workload, results_dir):
+    data, wl = workload
+    results = {}
+    for support in (20, 50, 100):
+        config = SearchConfig(support=support)
+        results[support] = _interactive_quality(
+            data, wl, lambda ds, qi: OracleUser(ds, qi), config=config
+        )
+    rows = [
+        [s, f"{p:.1%}", f"{r:.1%}"] for s, (p, r) in sorted(results.items())
+    ]
+    report(
+        "ablation_support_sensitivity",
+        format_table(["Support s", "Precision", "Recall"], rows),
+    )
+    return results
+
+
+def test_ablation_support_robust(ablation_support):
+    """Retrieval quality is stable across a 5x support range."""
+    f1s = [2 * p * r / (p + r) for p, r in ablation_support.values() if p + r]
+    assert min(f1s) > 0.8
+
+
+# ----------------------------------------------------------------------
+# A5: axis-parallel vs. arbitrary projections
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ablation_axis(workload, results_dir):
+    data, wl = workload
+    arbitrary = _interactive_quality(data, wl, lambda ds, qi: OracleUser(ds, qi))
+    axis_cfg = SearchConfig(support=25, axis_parallel=True)
+    axis = _interactive_quality(
+        data, wl, lambda ds, qi: OracleUser(ds, qi), config=axis_cfg
+    )
+    rows = [
+        ["arbitrary (PCA directions)", f"{arbitrary[0]:.1%}", f"{arbitrary[1]:.1%}"],
+        ["axis-parallel (interpretable)", f"{axis[0]:.1%}", f"{axis[1]:.1%}"],
+    ]
+    report(
+        "ablation_axis_parallel",
+        format_table(["Projection type", "Precision", "Recall"], rows)
+        + "\n(Case-1 clusters are axis-parallel, so both should do well)",
+    )
+    return {"arbitrary": arbitrary, "axis": axis}
+
+
+def test_ablation_axis_parallel_competitive(ablation_axis):
+    ap, ar = ablation_axis["axis"]
+    bp, br = ablation_axis["arbitrary"]
+    axis_f1 = 2 * ap * ar / (ap + ar) if ap + ar else 0.0
+    arb_f1 = 2 * bp * br / (bp + br) if bp + br else 0.0
+    assert axis_f1 > 0.75 * arb_f1
+
+
+# ----------------------------------------------------------------------
+# Timing
+# ----------------------------------------------------------------------
+def test_ablations_benchmark(benchmark, workload):
+    """Time a single minor iteration's projection search."""
+    data, wl = workload
+    points = data.dataset.points
+    query = points[int(wl.query_indices[0])]
+    from repro.core.projections import find_query_centered_projection
+    from repro.geometry.subspace import Subspace
+
+    found = benchmark.pedantic(
+        lambda: find_query_centered_projection(
+            points, query, Subspace.full(20), 25,
+            restarts=4, rng=np.random.default_rng(0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert found.projection.dim == 2

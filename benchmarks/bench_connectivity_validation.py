@@ -1,0 +1,117 @@
+"""Validation — the grid approximation of density connectivity.
+
+The paper replaces exact Definition-2.1 connectivity with the grid
+flood fill of Definition 2.2 "without having to calculate the density
+value at each individual data point".  This bench quantifies the cost
+of that approximation: Jaccard agreement between grid and exact
+connectivity across grid resolutions and separator heights, plus the
+speed gap that justifies the approximation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.density.connectivity import connected_region, points_in_region
+from repro.density.connectivity_graph import (
+    exact_density_connected,
+    grid_vs_exact_agreement,
+)
+from repro.density.grid import DensityGrid
+from repro.density.kde import KernelDensityEstimator
+from repro.viz.export import export_table
+
+from bench_utils import format_table, report
+
+RESOLUTIONS = (20, 40, 80)
+TAU_FRACTIONS = (0.05, 0.2, 0.5)
+
+
+def _blob_workload(seed: int):
+    rng = np.random.default_rng(seed)
+    blob = np.array([0.3, 0.6]) + rng.normal(0, 0.03, size=(250, 2))
+    other = np.array([0.75, 0.25]) + rng.normal(0, 0.04, size=(150, 2))
+    noise = rng.uniform(0, 1, size=(200, 2))
+    points = np.vstack([blob, other, noise])
+    return points, np.array([0.3, 0.6])
+
+
+@pytest.fixture(scope="module")
+def agreement_results(results_dir):
+    table = {}
+    for resolution in RESOLUTIONS:
+        for frac in TAU_FRACTIONS:
+            values = []
+            for seed in (1, 2, 3):
+                points, query = _blob_workload(seed)
+                kde = KernelDensityEstimator(points)
+                tau = frac * float(kde.evaluate(query))
+                values.append(
+                    grid_vs_exact_agreement(
+                        points, query, tau, resolution=resolution
+                    )
+                )
+            table[(resolution, frac)] = float(np.mean(values))
+    rows = [
+        [f"p={resolution}"]
+        + [f"{table[(resolution, f)]:.2f}" for f in TAU_FRACTIONS]
+        for resolution in RESOLUTIONS
+    ]
+    text = format_table(
+        ["Resolution \\ tau fraction"] + [str(f) for f in TAU_FRACTIONS], rows
+    )
+
+    # Speed comparison at the default working point.
+    points, query = _blob_workload(1)
+    kde = KernelDensityEstimator(points)
+    tau = 0.2 * float(kde.evaluate(query))
+    start = time.perf_counter()
+    grid = DensityGrid(points, resolution=40, include=query)
+    region = connected_region(grid, query, tau)
+    points_in_region(grid, region, points)
+    grid_time = time.perf_counter() - start
+    start = time.perf_counter()
+    exact_density_connected(points, query, tau, estimator=kde)
+    exact_time = time.perf_counter() - start
+    text += (
+        f"\n\ngrid path {grid_time * 1e3:.1f} ms vs exact path "
+        f"{exact_time * 1e3:.1f} ms at n=600 (the grid is the one that "
+        f"scales: O(p^2 + n) vs O(n^2))"
+    )
+    report("connectivity_validation", text)
+    export_table(
+        [
+            {"resolution": r, "tau_fraction": f, "jaccard": v}
+            for (r, f), v in table.items()
+        ],
+        results_dir / "connectivity_validation.csv",
+    )
+    return table
+
+
+def test_agreement_high_at_working_resolution(agreement_results):
+    """At the library's working resolutions the approximation is faithful."""
+    for frac in TAU_FRACTIONS:
+        assert agreement_results[(40, frac)] > 0.75
+        assert agreement_results[(80, frac)] > 0.75
+
+
+def test_agreement_improves_with_resolution(agreement_results):
+    """Finer grids track the exact contour at least as well, on average."""
+    coarse = np.mean([agreement_results[(20, f)] for f in TAU_FRACTIONS])
+    fine = np.mean([agreement_results[(80, f)] for f in TAU_FRACTIONS])
+    assert fine >= coarse - 0.05
+
+
+def test_connectivity_benchmark(benchmark, agreement_results):
+    points, query = _blob_workload(1)
+    grid = DensityGrid(points, resolution=40, include=query)
+    tau = grid.density.max() * 0.1
+
+    region = benchmark.pedantic(
+        lambda: connected_region(grid, query, tau), rounds=1, iterations=1
+    )
+    assert region.seeded

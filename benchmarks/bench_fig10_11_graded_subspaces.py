@@ -1,0 +1,111 @@
+"""Figures 10-11 — graded projection quality across minor iterations.
+
+The paper's Figures 10 and 11 show density profiles from an *early*
+(first) and a *late* (last) minor iteration on Synthetic 1, and §4.1
+argues that "this gradation in the quality of the projections has an
+important influence": the first few mutually orthogonal views are
+crisp, the last ones carry the leftover noise.
+
+This bench runs a full major iteration's worth of graded projections on
+the Case-1 workload and reports, per minor-iteration position, the
+profile statistics a human would see — reproducing the early-vs-late
+contrast quantitatively, plus ASCII renderings of the first and last
+profiles themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.projections import orthogonal_projection_sequence
+from repro.data import synthetic_case1_workload
+from repro.density.profiles import VisualProfile
+from repro.viz.ascii import render_density_grid
+from repro.viz.export import export_table
+
+from bench_utils import format_table, report
+
+N_QUERIES = 5
+
+
+def _profile_sequence(points, query):
+    sequence = orthogonal_projection_sequence(
+        points, query, points.shape[1], 25,
+        restarts=4, rng=np.random.default_rng(0),
+    )
+    profiles = []
+    for found in sequence:
+        projected = found.projection.project(points)
+        q2 = found.projection.project(query)
+        profiles.append(
+            VisualProfile.build(projected, q2, resolution=50, bandwidth_scale=0.4)
+        )
+    return profiles
+
+
+@pytest.fixture(scope="module")
+def fig10_results(results_dir):
+    data, workload = synthetic_case1_workload(7, n_queries=N_QUERIES)
+    points = data.dataset.points
+    per_minor: dict[int, list[float]] = {}
+    first_profile = last_profile = None
+    for qi in workload.query_indices.tolist():
+        profiles = _profile_sequence(points, points[qi])
+        for minor, profile in enumerate(profiles):
+            per_minor.setdefault(minor, []).append(
+                profile.statistics.local_contrast
+            )
+        if first_profile is None:
+            first_profile = profiles[0]
+            last_profile = profiles[-1]
+
+    rows = [
+        {
+            "minor_iteration": minor,
+            "mean_local_contrast": float(np.mean(values)),
+        }
+        for minor, values in sorted(per_minor.items())
+    ]
+    export_table(rows, results_dir / "fig10_11_contrast_by_minor.csv")
+    text = (
+        format_table(
+            ["Minor iteration", "Mean local contrast (query vs typical point)"],
+            [[r["minor_iteration"], f"{r['mean_local_contrast']:.1f}x"] for r in rows],
+        )
+        + "\n\n-- Fig. 10: first minor iteration profile --\n"
+        + render_density_grid(
+            first_profile.grid, query=first_profile.query_2d, width=56, height=14
+        )
+        + "\n\n-- Fig. 11: last minor iteration profile --\n"
+        + render_density_grid(
+            last_profile.grid, query=last_profile.query_2d, width=56, height=14
+        )
+    )
+    report("fig10_11_graded_subspaces", text)
+    return rows
+
+
+def test_fig10_11_shape(fig10_results):
+    """Early views are far more discriminative than late ones."""
+    contrasts = [r["mean_local_contrast"] for r in fig10_results]
+    assert contrasts[0] > 3 * contrasts[-1]
+    # The first half dominates the second half on average.
+    half = len(contrasts) // 2
+    assert np.mean(contrasts[:half]) > np.mean(contrasts[half:])
+
+
+def test_fig10_11_benchmark(benchmark, fig10_results):
+    """Time one full graded projection sequence (d/2 orthogonal views)."""
+    data, workload = synthetic_case1_workload(7, n_queries=1)
+    points = data.dataset.points
+    query = points[int(workload.query_indices[0])]
+
+    sequence = benchmark.pedantic(
+        lambda: orthogonal_projection_sequence(
+            points, query, 20, 25, restarts=4, rng=np.random.default_rng(0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(sequence) == 10

@@ -1,0 +1,137 @@
+"""Figure 12 / §4.2 — uniformly distributed data is truly meaningless.
+
+The paper tests N = 5000 uniformly distributed points in d = 20 and
+reports: views show poor discrimination (Fig. 12), the preference
+counts spread evenly, the meaningfulness probabilities show *no steep
+drop*, and the system reports that the data is not amenable to
+meaningful NN search.
+
+This bench runs exactly that workload with the label-free heuristic
+user and reports the view statistics, the sorted probability series
+(flat, unlike the synthetic cliff), and the diagnosis verdict.  For
+contrast, the same analysis on the Case-1 workload is shown alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    HeuristicUser,
+    InteractiveNNSearch,
+    SearchConfig,
+    diagnose,
+)
+from repro.data import synthetic_case1_workload, uniform_workload
+from repro.viz.ascii import render_density_grid, render_sorted_series
+from repro.viz.export import export_series
+
+from bench_utils import report
+
+CONFIG = SearchConfig(support=25)
+
+
+@pytest.fixture(scope="module")
+def fig12_results(results_dir):
+    uniform = uniform_workload(13, n_points=5000, dim=20, n_queries=3)
+    verdicts = []
+    first_view_text = None
+    probability_series = None
+    for qi in uniform.query_indices.tolist():
+        user = HeuristicUser()
+        result = InteractiveNNSearch(uniform.dataset, CONFIG).run(
+            uniform.dataset.points[qi], user
+        )
+        verdicts.append(diagnose(result))
+        if first_view_text is None:
+            record = result.session.minor_records[0]
+            probability_series = np.sort(result.probabilities)[::-1]
+            # Re-render the first uniform view for the figure.
+            from repro.core.projections import find_query_centered_projection
+            from repro.density.profiles import VisualProfile
+            from repro.geometry.subspace import Subspace
+
+            found = find_query_centered_projection(
+                uniform.dataset.points,
+                uniform.dataset.points[qi],
+                Subspace.full(20),
+                25,
+                restarts=4,
+                rng=np.random.default_rng(0),
+            )
+            projected = found.projection.project(uniform.dataset.points)
+            q2 = found.projection.project(uniform.dataset.points[qi])
+            profile = VisualProfile.build(
+                projected, q2, resolution=50, bandwidth_scale=0.4
+            )
+            first_view_text = render_density_grid(
+                profile.grid, query=q2, width=56, height=14
+            ) + (
+                f"\nlocal contrast {profile.statistics.local_contrast:.1f}x "
+                f"(vs 10-100x on clustered data)"
+            )
+
+    # Contrast: clustered data diagnosed meaningful by the same user.
+    data, wl = synthetic_case1_workload(7, n_queries=1)
+    qi = int(wl.query_indices[0])
+    clustered_user = HeuristicUser()
+    clustered_result = InteractiveNNSearch(data.dataset, CONFIG).run(
+        data.dataset.points[qi], clustered_user
+    )
+    clustered_verdict = diagnose(clustered_result)
+    clustered_series = np.sort(clustered_result.probabilities)[::-1]
+
+    export_series(
+        {
+            "uniform_sorted_probability": probability_series[:2000],
+            "clustered_sorted_probability": clustered_series[:2000],
+        },
+        results_dir / "fig12_sorted_probabilities.csv",
+    )
+
+    text = (
+        "-- Fig. 12: a 'best' projection of uniform data (poor discrimination) --\n"
+        + first_view_text
+        + "\n\n-- sorted meaningfulness probabilities --\n"
+        + render_sorted_series(probability_series, label="uniform P(j)")
+        + "\n"
+        + render_sorted_series(clustered_series, label="clustered P(j)")
+        + "\n\nDiagnoses (uniform queries): "
+        + "; ".join(
+            f"meaningful={v.meaningful} ({v.explanation[:60]})" for v in verdicts
+        )
+        + f"\nDiagnosis (clustered query): meaningful={clustered_verdict.meaningful}"
+    )
+    report("fig12_uniform", text)
+    return {
+        "uniform_verdicts": verdicts,
+        "clustered_verdict": clustered_verdict,
+        "uniform_series": probability_series,
+        "clustered_series": clustered_series,
+    }
+
+
+def test_fig12_shape(fig12_results):
+    """Uniform data is diagnosed meaningless; clustered data is not."""
+    for verdict in fig12_results["uniform_verdicts"]:
+        assert not verdict.meaningful
+    assert fig12_results["clustered_verdict"].meaningful
+    # The uniform probability series shows no high plateau.
+    assert fig12_results["uniform_series"][10] < 0.5
+    # The clustered series does.
+    assert fig12_results["clustered_series"][100] > 0.5
+
+
+def test_fig12_benchmark(benchmark, fig12_results):
+    """Time one full uniform-data interactive run (mostly rejections)."""
+    uniform = uniform_workload(13, n_points=5000, dim=20, n_queries=1)
+    qi = int(uniform.query_indices[0])
+
+    def run_one():
+        return InteractiveNNSearch(uniform.dataset, CONFIG).run(
+            uniform.dataset.points[qi], HeuristicUser()
+        )
+
+    result = benchmark.pedantic(run_one, rounds=1, iterations=1)
+    assert result.probabilities.shape == (5000,)

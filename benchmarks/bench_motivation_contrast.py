@@ -1,0 +1,124 @@
+"""Motivation — the distance-concentration backdrop ([10], §1.1).
+
+Not a numbered figure, but the paper's entire premise: as
+dimensionality grows, the relative contrast between the nearest and
+farthest neighbor of a query collapses, and queries become unstable.
+This bench regenerates the phenomenon on uniform data, shows how the
+choice of ``L_p`` metric shifts it (the fractional-metric observation
+of ref [3]), and demonstrates that a query-centered projection restores
+the contrast that the full space lost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.contrast import contrast_report, dimensionality_contrast_curve
+from repro.core.projections import find_query_centered_projection
+from repro.data import synthetic_case1_workload
+from repro.geometry.distances import get_metric
+from repro.geometry.subspace import Subspace
+from repro.viz.export import export_series
+
+from bench_utils import format_table, report
+
+
+@pytest.fixture(scope="module")
+def contrast_results(results_dir):
+    rng = np.random.default_rng(10)
+    dims = (2, 5, 10, 20, 50, 100)
+    curve = dimensionality_contrast_curve(
+        rng, dims=dims, n_points=1000, n_queries=10
+    )
+    # Metric family at d = 20.
+    metric_rows = []
+    pts = rng.uniform(size=(1000, 20))
+    queries = rng.uniform(size=(10, 20))
+    for name in ("l0.5", "l1", "l2", "linf"):
+        metric = get_metric(name)
+        values = [
+            contrast_report(pts, queries[i], metric=metric).relative_contrast
+            for i in range(10)
+        ]
+        metric_rows.append((name, float(np.mean(values))))
+
+    # Projection restores contrast on the Case-1 workload.
+    data, workload = synthetic_case1_workload(7, n_queries=5)
+    full_contrast, view_contrast = [], []
+    for qi in workload.query_indices.tolist():
+        ds = data.dataset
+        query = ds.points[qi]
+        full_contrast.append(
+            contrast_report(ds.points, query).relative_contrast
+        )
+        found = find_query_centered_projection(
+            ds.points, query, Subspace.full(20), 25,
+            restarts=4, rng=np.random.default_rng(0),
+        )
+        projected = found.projection.project(ds.points)
+        q2 = found.projection.project(query)
+        view_contrast.append(contrast_report(projected, q2).relative_contrast)
+
+    export_series(
+        {"dim": list(curve), "relative_contrast": list(curve.values())},
+        results_dir / "motivation_contrast_curve.csv",
+    )
+    text = (
+        format_table(
+            ["Dimensionality", "Relative contrast (uniform, L2)"],
+            [[d, f"{c:.2f}"] for d, c in curve.items()],
+        )
+        + "\n\n"
+        + format_table(
+            ["Metric (d=20)", "Relative contrast"],
+            [[name, f"{c:.2f}"] for name, c in metric_rows],
+        )
+        + "\n\n"
+        + format_table(
+            ["Space (Case-1 data)", "Mean relative contrast"],
+            [
+                ["full 20-d", f"{np.mean(full_contrast):.1f}"],
+                [
+                    "query-centered 2-d view",
+                    f"{min(float(np.mean(view_contrast)), 9999.0):.1f}"
+                    + (" (capped)" if np.mean(view_contrast) > 9999 else ""),
+                ],
+            ],
+        )
+    )
+    report("motivation_contrast", text)
+    return {
+        "curve": curve,
+        "metrics": dict(metric_rows),
+        "full": float(np.mean(full_contrast)),
+        "view": float(np.mean(view_contrast)),
+    }
+
+
+def test_contrast_collapses_with_dimensionality(contrast_results):
+    curve = contrast_results["curve"]
+    dims = sorted(curve)
+    values = [curve[d] for d in dims]
+    assert values[0] > 10 * values[-1]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_fractional_metrics_retain_more_contrast(contrast_results):
+    """Ref [3]'s observation: lower p keeps more contrast at fixed d."""
+    metrics = contrast_results["metrics"]
+    assert metrics["l0.5"] > metrics["l1"] > metrics["l2"] > metrics["linf"]
+
+
+def test_projection_restores_contrast(contrast_results):
+    assert contrast_results["view"] > 3 * contrast_results["full"]
+
+
+def test_motivation_benchmark(benchmark, contrast_results):
+    rng = np.random.default_rng(3)
+    pts = rng.uniform(size=(1000, 50))
+    query = rng.uniform(size=50)
+    result = benchmark.pedantic(
+        lambda: contrast_report(pts, query), rounds=1, iterations=1
+    )
+    assert result.relative_contrast >= 0

@@ -1,0 +1,110 @@
+"""Scaling — wall-clock behaviour of the pipeline with N and d.
+
+Not a paper experiment; characterizes the implementation so users know
+what to expect.  One full interactive query is timed across data sizes
+and dimensionalities, and the per-component costs (projection search,
+profile construction, user sweep) are reported at the paper's scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import InteractiveNNSearch, OracleUser, SearchConfig
+from repro.data.synthetic import ProjectedClusterSpec, generate_projected_clusters
+from repro.viz.export import export_table
+
+from bench_utils import format_table, report
+
+
+def _workload(n_points: int, dim: int, seed: int = 5):
+    spec = ProjectedClusterSpec(
+        n_points=n_points,
+        dim=dim,
+        n_clusters=4,
+        cluster_dim=max(2, dim // 4),
+        axis_parallel=True,
+        noise_fraction=0.1,
+    )
+    data = generate_projected_clusters(spec, np.random.default_rng(seed))
+    ds = data.dataset
+    qi = int(ds.cluster_indices(0)[0])
+    return ds, qi
+
+
+def _time_one_query(ds, qi) -> float:
+    config = SearchConfig(
+        support=25, min_major_iterations=2, max_major_iterations=2
+    )
+    user = OracleUser(ds, qi)
+    start = time.perf_counter()
+    InteractiveNNSearch(ds, config).run(ds.points[qi], user)
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def scaling_results(results_dir):
+    by_n = {}
+    for n in (1000, 2000, 4000):
+        ds, qi = _workload(n, 16)
+        by_n[n] = _time_one_query(ds, qi)
+    by_d = {}
+    for d in (8, 16, 32):
+        ds, qi = _workload(2000, d)
+        by_d[d] = _time_one_query(ds, qi)
+    text = (
+        format_table(
+            ["N (d=16)", "seconds / query"],
+            [[n, f"{t:.2f}"] for n, t in by_n.items()],
+        )
+        + "\n\n"
+        + format_table(
+            ["d (N=2000)", "seconds / query"],
+            [[d, f"{t:.2f}"] for d, t in by_d.items()],
+        )
+        + "\n(2 major iterations; cost is dominated by the d/2 density "
+        "profiles per iteration, each O(p*N) kernel work)"
+    )
+    report("scaling", text)
+    export_table(
+        [{"axis": "N", "value": n, "seconds": t} for n, t in by_n.items()]
+        + [{"axis": "d", "value": d, "seconds": t} for d, t in by_d.items()],
+        results_dir / "scaling.csv",
+    )
+    return {"by_n": by_n, "by_d": by_d}
+
+
+def test_scaling_subquadratic_in_n(scaling_results):
+    """4x the points costs well under 16x the time (not O(N^2))."""
+    by_n = scaling_results["by_n"]
+    assert by_n[4000] < 10 * max(by_n[1000], 1e-3)
+
+
+def test_scaling_reasonable_in_d(scaling_results):
+    """4x the dimensionality costs under ~12x (d/2 views, deeper refinement)."""
+    by_d = scaling_results["by_d"]
+    assert by_d[32] < 12 * max(by_d[8], 1e-3)
+
+
+def test_interactive_query_latency_practical(scaling_results):
+    """A paper-scale query stays in interactive territory (< 30 s here)."""
+    assert scaling_results["by_n"][4000] < 30.0
+
+
+def test_scaling_benchmark(benchmark, scaling_results):
+    ds, qi = _workload(2000, 16)
+    config = SearchConfig(
+        support=25, min_major_iterations=1, max_major_iterations=1
+    )
+
+    result = benchmark.pedantic(
+        lambda: InteractiveNNSearch(ds, config).run(
+            ds.points[qi], OracleUser(ds, qi)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.neighbor_indices.size > 0

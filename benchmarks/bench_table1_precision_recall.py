@@ -1,0 +1,127 @@
+"""Table 1 — precision / recall on Synthetic 1 (Case 1) and 2 (Case 2).
+
+Paper reference (10 queries per data set, natural-neighbor counts from
+the meaningfulness thresholding):
+
+    Data set      Precision   Recall
+    Synthetic 1   87%         98%
+    Synthetic 2   91%         96%
+
+plus the §4.1 narrative: ~520 natural neighbors recovered for a query
+whose projected cluster holds 562 points, 508 of them correct.
+
+This bench runs the full interactive pipeline with the oracle user
+(modelling the paper's author-driven sessions) and reports the same
+rows.  Expected shape: precision and recall both high (>85%), natural
+count within ~15% of the true cluster cardinality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    InteractiveNNSearch,
+    OracleUser,
+    SearchConfig,
+    natural_neighbors,
+    retrieval_quality,
+)
+from repro.data import synthetic_case1_workload, synthetic_case2_workload
+from repro.viz.export import export_table
+
+from bench_utils import format_table, report
+
+N_QUERIES = 10
+CONFIG = SearchConfig(support=25)
+
+
+def _run_dataset(data, workload):
+    rows = []
+    for qi in workload.query_indices.tolist():
+        ds = data.dataset
+        true = ds.cluster_indices(ds.label_of(qi))
+        user = OracleUser(ds, qi)
+        result = InteractiveNNSearch(ds, CONFIG).run(ds.points[qi], user)
+        nn = natural_neighbors(
+            result.probabilities, iterations=len(result.session.major_records)
+        )
+        quality = retrieval_quality(nn, true)
+        rows.append(
+            {
+                "query": qi,
+                "natural": nn.size,
+                "cluster": int(true.size),
+                "precision": quality.precision,
+                "recall": quality.recall,
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table1_results(results_dir):
+    datasets = {
+        "Synthetic 1 (Case 1)": synthetic_case1_workload(7, n_queries=N_QUERIES),
+        "Synthetic 2 (Case 2)": synthetic_case2_workload(11, n_queries=N_QUERIES),
+    }
+    summary = {}
+    all_rows = []
+    for name, (data, workload) in datasets.items():
+        rows = _run_dataset(data, workload)
+        precision = float(np.mean([r["precision"] for r in rows]))
+        recall = float(np.mean([r["recall"] for r in rows]))
+        natural = float(np.mean([r["natural"] for r in rows]))
+        cluster = float(np.mean([r["cluster"] for r in rows]))
+        summary[name] = {
+            "precision": precision,
+            "recall": recall,
+            "natural": natural,
+            "cluster": cluster,
+        }
+        for r in rows:
+            all_rows.append({"dataset": name, **r})
+    export_table(all_rows, results_dir / "table1_per_query.csv")
+    text = format_table(
+        ["Data set", "Precision", "Recall", "Natural |NN|", "True |C|"],
+        [
+            [
+                name,
+                f"{s['precision']:.1%}",
+                f"{s['recall']:.1%}",
+                f"{s['natural']:.0f}",
+                f"{s['cluster']:.0f}",
+            ]
+            for name, s in summary.items()
+        ],
+    )
+    text += (
+        "\npaper: Synthetic 1 = 87% / 98%, Synthetic 2 = 91% / 96%; "
+        "natural ~520 vs cluster 562"
+    )
+    report("table1_precision_recall", text)
+    return summary
+
+
+def test_table1_shape(table1_results):
+    """Both data sets show high precision AND high recall (paper's claim)."""
+    for name, s in table1_results.items():
+        assert s["precision"] > 0.85, f"{name} precision {s['precision']:.2f}"
+        assert s["recall"] > 0.85, f"{name} recall {s['recall']:.2f}"
+        # Natural count tracks the true cluster cardinality within ~20%.
+        assert abs(s["natural"] - s["cluster"]) / s["cluster"] < 0.2
+
+
+def test_table1_benchmark(benchmark, table1_results):
+    """Time one full interactive query on the Case-1 workload."""
+    data, workload = synthetic_case1_workload(7, n_queries=1)
+    ds = data.dataset
+    qi = int(workload.query_indices[0])
+
+    def run_one():
+        user = OracleUser(ds, qi)
+        return InteractiveNNSearch(ds, CONFIG).run(ds.points[qi], user)
+
+    result = benchmark.pedantic(run_one, rounds=1, iterations=1)
+    assert result.neighbor_indices.size > 0

@@ -1,0 +1,115 @@
+"""Table 2 — NN classification accuracy on real-data stand-ins.
+
+Paper reference (10 query points, k = natural query-cluster size):
+
+    Data set (dim)      L2 accuracy   Interactive accuracy
+    Ionosphere (34)     71%           86%
+    Segmentation (19)   61%           83%
+
+This environment has no network access, so the UCI sets are replaced by
+statistically faithful stand-ins (see DESIGN.md §2): matching size,
+dimensionality and class counts, class structure confined to a small
+attribute subspace, heavy nuisance noise drowning full-dimensional L2.
+Absolute accuracies are not comparable; the *shape* — interactive
+beats full-dimensional L2 by a clear margin on both sets — is the
+reproduction target.
+
+The oracle user targets the query's sub-cluster (the visual unit a
+human perceives), mirroring the paper's author-driven sessions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OracleUser, SearchConfig
+from repro.analysis import compare_classification
+from repro.data import ionosphere_workload, segmentation_workload
+from repro.viz.export import export_table
+
+from bench_utils import format_table, report
+
+N_QUERIES = 10
+CONFIG = SearchConfig(support=20, max_major_iterations=4)
+
+
+def _run(workload):
+    fine = workload.dataset.metadata["fine_labels"]
+    return compare_classification(
+        workload.dataset,
+        workload.query_indices,
+        lambda ds, qi: OracleUser(ds, qi, relevant_mask=(fine == fine[qi])),
+        config=CONFIG,
+    )
+
+
+@pytest.fixture(scope="module")
+def table2_results(results_dir):
+    workloads = {
+        "Ionosphere-like (34)": ionosphere_workload(17, n_queries=N_QUERIES),
+        "Segmentation-like (19)": segmentation_workload(19, n_queries=N_QUERIES),
+    }
+    summary = {}
+    rows_out = []
+    for name, workload in workloads.items():
+        cmp = _run(workload)
+        fallbacks = sum(1 for o in cmp.interactive if o.used_fallback)
+        summary[name] = {
+            "l2": cmp.baseline_accuracy,
+            "interactive": cmp.interactive_accuracy,
+            "fallbacks": fallbacks,
+        }
+        for b, i in zip(cmp.baseline, cmp.interactive):
+            rows_out.append(
+                {
+                    "dataset": name,
+                    "query": b.query_index,
+                    "true": b.true_label,
+                    "l2_pred": b.predicted_label,
+                    "interactive_pred": i.predicted_label,
+                    "k": i.neighbors_used,
+                    "fallback": i.used_fallback,
+                }
+            )
+    export_table(rows_out, results_dir / "table2_per_query.csv")
+    text = format_table(
+        ["Data set", "Accuracy (L2)", "Accuracy (Interactive)", "Fallbacks"],
+        [
+            [name, f"{s['l2']:.0%}", f"{s['interactive']:.0%}", f"{s['fallbacks']}/{N_QUERIES}"]
+            for name, s in summary.items()
+        ],
+    )
+    text += "\npaper: Ionosphere 71% -> 86%, Segmentation 61% -> 83%"
+    report("table2_classification", text)
+    return summary
+
+
+def test_table2_shape(table2_results):
+    """Interactive classification beats full-dimensional L2 on both sets."""
+    for name, s in table2_results.items():
+        assert s["interactive"] >= s["l2"], (
+            f"{name}: interactive {s['interactive']:.2f} < L2 {s['l2']:.2f}"
+        )
+    # At least one data set shows a strict, clear win (the paper's margin).
+    margins = [s["interactive"] - s["l2"] for s in table2_results.values()]
+    assert max(margins) >= 0.1
+
+
+def test_table2_benchmark(benchmark, table2_results):
+    """Time one interactive classification query (ionosphere-like)."""
+    workload = ionosphere_workload(17, n_queries=1)
+    fine = workload.dataset.metadata["fine_labels"]
+    qi = int(workload.query_indices[0])
+
+    def run_one():
+        from repro.analysis.classify import classify_query_interactive
+
+        user = OracleUser(
+            workload.dataset, qi, relevant_mask=(fine == fine[qi])
+        )
+        return classify_query_interactive(
+            workload.dataset, qi, user, config=CONFIG
+        )
+
+    outcome, _ = benchmark.pedantic(run_one, rounds=1, iterations=1)
+    assert outcome.neighbors_used > 0

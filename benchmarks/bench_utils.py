@@ -1,0 +1,34 @@
+"""Reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results
+are printed to stdout (run with ``pytest benchmarks/ --benchmark-only
+-s`` to see them live) and persisted under ``benchmarks/results/`` so
+``EXPERIMENTS.md`` can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a result block and persist it under ``benchmarks/results/``."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    sys.stdout.write(banner)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width text table."""
+    table = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Pytest fixtures for the benchmark harness."""
+
+from pathlib import Path
+
+import pytest
+
+from bench_utils import RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory receiving benchmark artifacts."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

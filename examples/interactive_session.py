@@ -1,0 +1,98 @@
+"""Drive the interactive search yourself, in the terminal.
+
+You are the human in the loop: each minor iteration shows an ASCII
+density profile of a carefully chosen projection; you place the density
+separator by typing a threshold, preview the resulting query cluster,
+and either confirm (``ok``) or skip the view (``skip``).
+
+The data has one crisp hidden cluster around the query — try to isolate
+it.  After the session the script reveals the ground truth and scores
+your selections.
+
+Run (requires a TTY):
+    python examples/interactive_session.py
+
+Non-interactive demo (scripted input):
+    python examples/interactive_session.py --demo
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+
+import numpy as np
+
+from repro import (
+    InteractiveNNSearch,
+    SearchConfig,
+    TerminalUser,
+    natural_neighbors,
+    retrieval_quality,
+)
+from repro.data.synthetic import ProjectedClusterSpec, generate_projected_clusters
+
+
+def make_data():
+    spec = ProjectedClusterSpec(
+        n_points=800,
+        dim=8,
+        n_clusters=2,
+        cluster_dim=3,
+        axis_parallel=True,
+        noise_fraction=0.15,
+    )
+    return generate_projected_clusters(spec, np.random.default_rng(77))
+
+
+def main() -> None:
+    data = make_data()
+    dataset = data.dataset
+    query_index = int(dataset.cluster_indices(0)[0])
+    query = dataset.points[query_index]
+
+    demo = "--demo" in sys.argv
+    if demo:
+        # A canned session: try a descending ladder of separator heights
+        # in each view, confirm once a selection exists, then move on.
+        per_view = "2.0\n1.2\n0.8\n0.55\n0.4\nok\n"
+        script = per_view * 16 + "skip\n" * 40
+        user = TerminalUser(input_stream=io.StringIO(script))
+        print("(demo mode: scripted descending separator ladder per view)")
+    else:
+        user = TerminalUser()
+        print(
+            "You will see density profiles of 2-D projections. The data\n"
+            "has one hidden cluster around the query point Q. Type a\n"
+            "density threshold to preview a separator, 'ok' to confirm,\n"
+            "'skip' to reject a view."
+        )
+
+    config = SearchConfig(
+        support=15,
+        grid_resolution=40,
+        min_major_iterations=2,
+        max_major_iterations=2,
+        projection_restarts=3,
+    )
+    result = InteractiveNNSearch(dataset, config).run(query, user)
+
+    neighbors = natural_neighbors(
+        result.probabilities, iterations=len(result.session.major_records)
+    )
+    truth = dataset.cluster_indices(dataset.label_of(query_index))
+    print(f"\nSession over. You accepted "
+          f"{result.session.accepted_views}/{result.session.total_views} views.")
+    if neighbors.size:
+        quality = retrieval_quality(neighbors, truth)
+        print(f"Natural cluster found: {neighbors.size} points "
+              f"(truth: {truth.size}).")
+        print(f"Your precision {quality.precision:.0%}, recall "
+              f"{quality.recall:.0%} against the hidden cluster.")
+    else:
+        print("No coherent cluster emerged from your selections "
+              f"(the hidden cluster has {truth.size} points).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the oracle-driven quickstart on the Case-1 workload and print
+    the retrieved neighbors, quality, and diagnosis.
+``diagnose``
+    Run the meaninglessness diagnosis contrast (uniform vs. clustered)
+    with the label-free heuristic user.
+``session``
+    Start an interactive terminal session — you are the user.
+``info``
+    Print version and configuration defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import (
+        InteractiveNNSearch,
+        OracleUser,
+        SearchConfig,
+        case1_dataset,
+        diagnose,
+        natural_neighbors,
+        retrieval_quality,
+    )
+
+    data = case1_dataset(np.random.default_rng(args.seed), n_points=args.points)
+    dataset = data.dataset
+    query_index = int(dataset.cluster_indices(0)[0])
+    user = OracleUser(dataset, query_index)
+    result = InteractiveNNSearch(dataset, SearchConfig(support=args.support)).run(
+        dataset.points[query_index], user
+    )
+    neighbors = natural_neighbors(
+        result.probabilities, iterations=len(result.session.major_records)
+    )
+    truth = dataset.cluster_indices(dataset.label_of(query_index))
+    quality = retrieval_quality(neighbors, truth)
+    print(f"neighbors found: {neighbors.size} (true cluster {truth.size})")
+    print(f"precision {quality.precision:.1%}, recall {quality.recall:.1%}")
+    print(f"diagnosis: {diagnose(result).explanation}")
+    if args.save:
+        from repro.core.serialization import save_result
+
+        path = save_result(result, args.save)
+        print(f"session archived to {path}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro import (
+        HeuristicUser,
+        InteractiveNNSearch,
+        SearchConfig,
+        case1_dataset,
+        diagnose,
+        uniform_dataset,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    uniform = uniform_dataset(rng, n_points=args.points, dim=20)
+    result = InteractiveNNSearch(uniform, SearchConfig(support=25)).run(
+        uniform.points[0], HeuristicUser()
+    )
+    verdict = diagnose(result)
+    print(f"uniform data:   meaningful={verdict.meaningful} — {verdict.explanation}")
+
+    clustered = case1_dataset(np.random.default_rng(args.seed), n_points=args.points)
+    ds = clustered.dataset
+    truth = clustered.clusters[0]
+    members = ds.cluster_indices(0)
+    central = int(
+        members[
+            np.argmin(
+                np.linalg.norm(
+                    (ds.points[members] - truth.anchor) @ truth.basis.T, axis=1
+                )
+            )
+        ]
+    )
+    result = InteractiveNNSearch(ds, SearchConfig(support=25)).run(
+        ds.points[central], HeuristicUser()
+    )
+    verdict = diagnose(result)
+    print(f"clustered data: meaningful={verdict.meaningful} — {verdict.explanation}")
+    return 0
+
+
+def _session_inline(args: argparse.Namespace) -> int:
+    from repro import (
+        InteractiveNNSearch,
+        SearchConfig,
+        TerminalUser,
+        natural_neighbors,
+    )
+    from repro.data.synthetic import (
+        ProjectedClusterSpec,
+        generate_projected_clusters,
+    )
+
+    spec = ProjectedClusterSpec(
+        n_points=args.points,
+        dim=8,
+        n_clusters=2,
+        cluster_dim=3,
+        axis_parallel=True,
+        noise_fraction=0.15,
+    )
+    data = generate_projected_clusters(spec, np.random.default_rng(args.seed))
+    dataset = data.dataset
+    query_index = int(dataset.cluster_indices(0)[0])
+    config = SearchConfig(
+        support=15,
+        grid_resolution=40,
+        min_major_iterations=2,
+        max_major_iterations=2,
+        projection_restarts=3,
+    )
+    result = InteractiveNNSearch(dataset, config).run(
+        dataset.points[query_index], TerminalUser()
+    )
+    neighbors = natural_neighbors(
+        result.probabilities, iterations=len(result.session.major_records)
+    )
+    truth = dataset.cluster_indices(dataset.label_of(query_index))
+    print(f"\nnatural cluster: {neighbors.size} points (truth {truth.size})")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro import SearchConfig
+
+    print(f"repro {repro.__version__}")
+    print("default SearchConfig:")
+    for field, value in vars(SearchConfig()).items():
+        print(f"  {field} = {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive high-dimensional nearest neighbor search",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="oracle-driven quickstart")
+    demo.add_argument("--points", type=int, default=2000)
+    demo.add_argument("--support", type=int, default=25)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--save", type=str, default="", help="archive JSON path")
+    demo.set_defaults(func=_cmd_demo)
+
+    diag = sub.add_parser("diagnose", help="uniform vs clustered diagnosis")
+    diag.add_argument("--points", type=int, default=3000)
+    diag.add_argument("--seed", type=int, default=13)
+    diag.set_defaults(func=_cmd_diagnose)
+
+    session = sub.add_parser("session", help="interactive terminal session")
+    session.add_argument("--points", type=int, default=800)
+    session.add_argument("--seed", type=int, default=77)
+    session.set_defaults(func=_session_inline)
+
+    info = sub.add_parser("info", help="version and defaults")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

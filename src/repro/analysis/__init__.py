@@ -1,0 +1,70 @@
+"""Evaluation: contrast measures, retrieval quality, classification, diagnosis."""
+
+from repro.analysis.attribution import (
+    AttributeImportance,
+    attribute_importance,
+    neighborhood_attribute_importance,
+)
+from repro.analysis.classify import (
+    ClassificationComparison,
+    QueryClassification,
+    classify_query_baseline,
+    classify_query_interactive,
+    compare_classification,
+    majority_label,
+)
+from repro.analysis.contrast import (
+    ContrastReport,
+    contrast_report,
+    dimensionality_contrast_curve,
+    is_unstable_query,
+    mean_relative_contrast,
+)
+from repro.analysis.diagnostics import MeaningfulnessDiagnosis, diagnose
+from repro.analysis.stability import StabilityReport, jaccard, query_stability
+from repro.analysis.structure import (
+    RegionSummary,
+    ViewStructure,
+    structure_ladder,
+    view_structure,
+)
+from repro.analysis.quality import (
+    RetrievalQuality,
+    SteepDrop,
+    natural_neighbors,
+    precision_recall_at_k,
+    retrieval_quality,
+    steep_drop_analysis,
+)
+
+__all__ = [
+    "AttributeImportance",
+    "attribute_importance",
+    "neighborhood_attribute_importance",
+    "ContrastReport",
+    "contrast_report",
+    "is_unstable_query",
+    "mean_relative_contrast",
+    "dimensionality_contrast_curve",
+    "RetrievalQuality",
+    "retrieval_quality",
+    "SteepDrop",
+    "steep_drop_analysis",
+    "natural_neighbors",
+    "precision_recall_at_k",
+    "QueryClassification",
+    "ClassificationComparison",
+    "classify_query_interactive",
+    "classify_query_baseline",
+    "compare_classification",
+    "majority_label",
+    "MeaningfulnessDiagnosis",
+    "diagnose",
+    "StabilityReport",
+    "query_stability",
+    "jaccard",
+    "RegionSummary",
+    "ViewStructure",
+    "view_structure",
+    "structure_ladder",
+]

@@ -1,0 +1,191 @@
+"""Nearest-neighbor classification (paper §4.3, Table 2).
+
+The paper evaluates the interactive search on real data by using the
+retrieved neighbors as a kNN classifier: the query's predicted class is
+the majority label among the neighbors, using "as many nearest
+neighbors as determined by the natural query cluster size".  The
+baseline classifies with the same number of neighbors taken from the
+full-dimensional ``L2`` ranking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.quality import natural_neighbors
+from repro.baselines.full_dim import FullDimensionalKNN
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.interaction.base import UserAgent
+
+
+def majority_label(labels: np.ndarray) -> int:
+    """Majority vote with deterministic tie-break (smallest label wins)."""
+    if labels.size == 0:
+        raise ConfigurationError("cannot vote over zero labels")
+    counts = Counter(int(v) for v in labels.tolist())
+    best = max(counts.items(), key=lambda item: (item[1], -item[0]))
+    return best[0]
+
+
+@dataclass(frozen=True)
+class QueryClassification:
+    """One query's classification outcome under one method.
+
+    ``used_fallback`` marks interactive outcomes where the session
+    produced no meaningful natural cluster and the query was classified
+    by the full-dimensional baseline instead — the realistic protocol
+    when the system diagnoses the search as not meaningful.
+    """
+
+    query_index: int
+    true_label: int
+    predicted_label: int
+    neighbors_used: int
+    used_fallback: bool = False
+
+    @property
+    def correct(self) -> bool:
+        """Whether the prediction matched the ground truth."""
+        return self.true_label == self.predicted_label
+
+
+@dataclass(frozen=True)
+class ClassificationComparison:
+    """Table 2 content for one data set.
+
+    Attributes
+    ----------
+    baseline:
+        Per-query outcomes of the full-dimensional ``L2`` classifier.
+    interactive:
+        Per-query outcomes of the interactive classifier.
+    """
+
+    baseline: tuple[QueryClassification, ...]
+    interactive: tuple[QueryClassification, ...]
+
+    @property
+    def baseline_accuracy(self) -> float:
+        """Fraction of queries the baseline classified correctly."""
+        return _accuracy(self.baseline)
+
+    @property
+    def interactive_accuracy(self) -> float:
+        """Fraction of queries the interactive method classified correctly."""
+        return _accuracy(self.interactive)
+
+
+def _accuracy(outcomes: tuple[QueryClassification, ...]) -> float:
+    if not outcomes:
+        return 0.0
+    return sum(1 for o in outcomes if o.correct) / len(outcomes)
+
+
+def classify_query_interactive(
+    dataset: Dataset,
+    query_index: int,
+    user: UserAgent,
+    *,
+    config: SearchConfig | None = None,
+) -> tuple[QueryClassification, int]:
+    """Classify one query with the interactive search.
+
+    Returns the outcome plus the natural neighbor count (so the caller
+    can hand the same ``k`` to the baseline, as the paper does).
+
+    The query point itself is excluded from the voting neighbors.
+    """
+    if dataset.labels is None:
+        raise ConfigurationError("classification requires a labelled dataset")
+    search = InteractiveNNSearch(dataset, config)
+    query = dataset.points[query_index]
+    result = search.run(query, user)
+
+    natural = natural_neighbors(
+        result.probabilities,
+        iterations=len(result.session.major_records),
+    )
+    neighbors = natural[natural != query_index]
+    if neighbors.size >= 1:
+        predicted = majority_label(dataset.labels[neighbors])
+        outcome = QueryClassification(
+            query_index=query_index,
+            true_label=int(dataset.labels[query_index]),
+            predicted_label=predicted,
+            neighbors_used=int(neighbors.size),
+        )
+        return outcome, int(neighbors.size)
+    # No meaningful natural cluster: the system diagnosed the search as
+    # not meaningful for this query; classify by the baseline instead.
+    fallback = classify_query_baseline(dataset, query_index, result.support)
+    outcome = QueryClassification(
+        query_index=query_index,
+        true_label=fallback.true_label,
+        predicted_label=fallback.predicted_label,
+        neighbors_used=fallback.neighbors_used,
+        used_fallback=True,
+    )
+    return outcome, int(fallback.neighbors_used)
+
+
+def classify_query_baseline(
+    dataset: Dataset, query_index: int, k: int
+) -> QueryClassification:
+    """Classify one query with full-dimensional ``L2`` kNN."""
+    if dataset.labels is None:
+        raise ConfigurationError("classification requires a labelled dataset")
+    knn = FullDimensionalKNN(dataset)
+    result = knn.query(
+        dataset.points[query_index], k, exclude_index=query_index
+    )
+    predicted = majority_label(dataset.labels[result.neighbor_indices])
+    return QueryClassification(
+        query_index=query_index,
+        true_label=int(dataset.labels[query_index]),
+        predicted_label=predicted,
+        neighbors_used=int(result.neighbor_indices.size),
+    )
+
+
+def compare_classification(
+    dataset: Dataset,
+    query_indices: np.ndarray,
+    user_factory,
+    *,
+    config: SearchConfig | None = None,
+) -> ClassificationComparison:
+    """Run the Table 2 protocol over several queries.
+
+    Parameters
+    ----------
+    dataset:
+        Labelled data set.
+    query_indices:
+        The query points (the paper uses 10).
+    user_factory:
+        Callable ``(dataset, query_index) -> UserAgent`` producing a
+        fresh user per query (oracle users are query-specific).
+    config:
+        Search configuration shared across queries.
+    """
+    baseline_outcomes = []
+    interactive_outcomes = []
+    for query_index in np.asarray(query_indices, dtype=int).tolist():
+        user = user_factory(dataset, query_index)
+        interactive, k = classify_query_interactive(
+            dataset, query_index, user, config=config
+        )
+        interactive_outcomes.append(interactive)
+        baseline_outcomes.append(
+            classify_query_baseline(dataset, query_index, max(k, 1))
+        )
+    return ClassificationComparison(
+        baseline=tuple(baseline_outcomes),
+        interactive=tuple(interactive_outcomes),
+    )

@@ -1,0 +1,262 @@
+"""Retrieval-quality measures and natural-neighbor detection.
+
+Two pieces of the paper's §4 evaluation live here:
+
+* **precision / recall** of the returned neighbors against the query's
+  ground-truth cluster (Table 1);
+* the **steep-drop thresholding** that finds the *natural* number of
+  nearest neighbors: sort the meaningfulness probabilities descending
+  and cut just before the largest drop following the high plateau
+  ("a few of the data points had meaningfulness probability in the
+  range of 0.9 to 1, after which there was a steep drop").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+
+
+@dataclass(frozen=True)
+class RetrievalQuality:
+    """Precision/recall of a retrieved set against a relevant set."""
+
+    precision: float
+    recall: float
+    retrieved: int
+    relevant: int
+    hits: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def retrieval_quality(
+    retrieved_indices: np.ndarray, relevant_indices: np.ndarray
+) -> RetrievalQuality:
+    """Precision and recall of *retrieved* against *relevant* indices.
+
+    Duplicate indices in either argument are collapsed — a point is
+    either retrieved or not.
+    """
+    retrieved = np.unique(np.asarray(retrieved_indices, dtype=int))
+    relevant = set(np.asarray(relevant_indices, dtype=int).tolist())
+    if retrieved.size == 0:
+        return RetrievalQuality(
+            precision=0.0,
+            recall=0.0,
+            retrieved=0,
+            relevant=len(relevant),
+            hits=0,
+        )
+    hits = sum(1 for idx in retrieved.tolist() if idx in relevant)
+    precision = hits / retrieved.size
+    recall = hits / len(relevant) if relevant else 0.0
+    return RetrievalQuality(
+        precision=precision,
+        recall=recall,
+        retrieved=int(retrieved.size),
+        relevant=len(relevant),
+        hits=hits,
+    )
+
+
+@dataclass(frozen=True)
+class SteepDrop:
+    """Result of steep-drop analysis on sorted probabilities.
+
+    Attributes
+    ----------
+    natural_count:
+        Number of points before the cut — the *natural* neighbor count.
+    drop_magnitude:
+        Size of the probability gap at the cut.
+    plateau_value:
+        Mean probability of the retained plateau.
+    has_steep_drop:
+        False when the distribution is flat (the §4.2 meaningless
+        case): no gap dominates, so no natural cluster exists.
+    """
+
+    natural_count: int
+    drop_magnitude: float
+    plateau_value: float
+    has_steep_drop: bool
+
+
+def steep_drop_analysis(
+    probabilities: np.ndarray,
+    *,
+    min_plateau: float = 0.6,
+    min_drop: float = 0.1,
+    max_fraction: float = 0.5,
+    min_plateau_mean: float = 0.7,
+) -> SteepDrop:
+    """Locate the steep drop in a meaningfulness distribution.
+
+    The distribution produced by a coherent run is a descending
+    staircase: a band of high levels (the query's natural cluster,
+    picked consistently across views) followed by a visibly larger gap
+    down to incidental-pick levels.  The cut is placed at the **largest
+    gap between consecutive sorted values whose upper side is still in
+    the plateau zone** (``p >= min_plateau``), which tolerates the
+    many small steps inside the membership band while refusing to cut
+    inside the low tail.
+
+    Parameters
+    ----------
+    probabilities:
+        Meaningfulness probabilities (any order).
+    min_plateau:
+        The value just above the cut must be at least this — the
+        plateau zone boundary.
+    min_drop:
+        Minimum probability gap that counts as "steep".
+    max_fraction:
+        The natural cluster may cover at most this fraction of points.
+    min_plateau_mean:
+        The retained points' mean probability must reach this value;
+        a shallow plateau means nothing stood out from chance.
+
+    Returns
+    -------
+    SteepDrop
+    """
+    probs = np.sort(np.asarray(probabilities, dtype=float))[::-1]
+    if probs.size == 0:
+        raise EmptyDatasetError("no probabilities supplied")
+    if probs.size == 1:
+        found = probs[0] >= min_plateau_mean
+        return SteepDrop(
+            natural_count=1 if found else 0,
+            drop_magnitude=float(probs[0]),
+            plateau_value=float(probs[0]),
+            has_steep_drop=bool(found),
+        )
+    limit = max(1, int(max_fraction * probs.size))
+    gaps = probs[:-1] - probs[1:]
+    # Candidate cuts: inside the size budget, with the upper side still
+    # in the plateau zone and a gap that qualifies as steep.
+    positions = np.arange(gaps.size)
+    eligible = (
+        (positions < limit)
+        & (probs[:-1][positions] >= min_plateau)
+        & (gaps >= min_drop)
+    )
+    candidates = np.flatnonzero(eligible)
+    if candidates.size == 0:
+        # Report the best near-miss for diagnostics.
+        window = gaps[:limit]
+        cut = int(np.argmax(window))
+        return SteepDrop(
+            natural_count=0,
+            drop_magnitude=float(window[cut]),
+            plateau_value=float(probs[: cut + 1].mean()),
+            has_steep_drop=False,
+        )
+    # Take the deepest qualifying cliff: the natural cluster extends to
+    # the bottom of the plateau zone, which matches the paper's remark
+    # that the natural count slightly overestimates the true cluster.
+    cut = int(candidates[-1])
+    drop = float(gaps[cut])
+    plateau = float(probs[: cut + 1].mean())
+    if plateau < min_plateau_mean:
+        return SteepDrop(
+            natural_count=0,
+            drop_magnitude=drop,
+            plateau_value=plateau,
+            has_steep_drop=False,
+        )
+    return SteepDrop(
+        natural_count=cut + 1,
+        drop_magnitude=drop,
+        plateau_value=plateau,
+        has_steep_drop=True,
+    )
+
+
+def coherence_threshold(iterations: int, *, factor: float = 1.5) -> float:
+    """Probability threshold meaning "picked in more than one iteration".
+
+    A point coherently selected in exactly one of ``Lambda`` major
+    iterations lands near probability ``1 / Lambda`` (its one
+    per-iteration probability is close to 1, the others are 0).  Points
+    above ``factor / Lambda`` were therefore coherent in at least two
+    iterations — the incidental-pick shelf sits below this line.
+    """
+    if iterations <= 0:
+        raise ConfigurationError("iterations must be positive")
+    return min(0.95, factor / iterations)
+
+
+def natural_neighbors(
+    probabilities: np.ndarray,
+    *,
+    iterations: int | None = None,
+    min_plateau: float = 0.6,
+    min_drop: float = 0.1,
+    max_fraction: float = 0.5,
+    min_set_mean: float = 0.55,
+    min_set_size: int = 3,
+) -> np.ndarray:
+    """Indices of the natural neighbor set.
+
+    Two modes:
+
+    * With *iterations* (the number of major iterations the search
+      ran — available from ``len(result.session.major_records)``), the
+      cut is the :func:`coherence_threshold`: points selected
+      coherently in more than one major iteration.  The retained set
+      must still look like a plateau (mean probability at least
+      *min_set_mean*, at least *min_set_size* members, at most
+      *max_fraction* of the data) — otherwise the data is diagnosed as
+      not amenable to meaningful NN search and the set is empty.
+    * Without *iterations*, falls back to generic steep-drop analysis.
+
+    Returns an empty array when no natural cluster stands out — the
+    paper's signal that NN search is not meaningful on this data.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    order = np.argsort(-probs, kind="stable")
+    if iterations is not None:
+        threshold = coherence_threshold(iterations)
+        count = int(np.sum(probs > threshold))
+        if (
+            min_set_size <= count <= max_fraction * probs.size
+            and float(probs[order[:count]].mean()) >= min_set_mean
+        ):
+            return order[:count]
+        # The coherence cut failed its plateau checks; fall through to
+        # the generic steep-drop rule, which can still find a crisper
+        # high-probability band.
+    drop = steep_drop_analysis(
+        probs,
+        min_plateau=min_plateau,
+        min_drop=min_drop,
+        max_fraction=max_fraction,
+    )
+    if not drop.has_steep_drop:
+        return np.empty(0, dtype=int)
+    return order[: drop.natural_count]
+
+
+def precision_recall_at_k(
+    ranked_indices: np.ndarray,
+    relevant_indices: np.ndarray,
+    ks: tuple[int, ...],
+) -> dict[int, RetrievalQuality]:
+    """Quality at several cutoffs of a ranked retrieval list."""
+    if not ks:
+        raise ConfigurationError("ks must be non-empty")
+    ranked = np.asarray(ranked_indices, dtype=int)
+    return {
+        k: retrieval_quality(ranked[: min(k, ranked.size)], relevant_indices)
+        for k in ks
+    }

@@ -1,0 +1,121 @@
+"""Query stability under perturbation (paper §1).
+
+The paper's motivating instability: in high dimensions "a slight
+relative perturbation of the query point away from the nearest neighbor
+could change it into the farthest neighbor and vice versa — in such
+cases, a nearest neighbor query is said to be *unstable*."
+
+This module measures that operationally for any searcher: perturb the
+query by a fraction of its nearest-neighbor distance, re-run the
+search, and report how much the answer set changes (Jaccard overlap).
+A meaningful search should return nearly the same neighbors for nearly
+the same question; full-dimensional kNN on concentrated distances does
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.distances import euclidean_distance
+
+#: A searcher maps a query vector to an index set.
+SearcherFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Outcome of a perturbation-stability measurement.
+
+    Attributes
+    ----------
+    mean_overlap:
+        Mean Jaccard overlap between the unperturbed answer and each
+        perturbed answer (1 = perfectly stable, 0 = completely
+        unstable).
+    overlaps:
+        The individual per-perturbation overlaps.
+    epsilon:
+        Perturbation magnitude relative to the query's nearest-neighbor
+        distance.
+    baseline_size:
+        Size of the unperturbed answer set.
+    """
+
+    mean_overlap: float
+    overlaps: tuple[float, ...]
+    epsilon: float
+    baseline_size: int
+
+
+def jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard similarity of two index sets (1.0 when both empty)."""
+    sa = set(np.asarray(a, dtype=int).tolist())
+    sb = set(np.asarray(b, dtype=int).tolist())
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def query_stability(
+    searcher: SearcherFn,
+    points: np.ndarray,
+    query: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    epsilon: float = 0.1,
+    n_perturbations: int = 5,
+) -> StabilityReport:
+    """Measure a searcher's answer stability around one query.
+
+    Parameters
+    ----------
+    searcher:
+        ``searcher(query) -> neighbor index array``.  Wrap whatever
+        system you want to measure (a kNN baseline, the interactive
+        pipeline, ...).
+    points:
+        The data set, used to scale perturbations: each perturbation is
+        a random direction of length ``epsilon`` times the query's
+        distance to its nearest (nonzero-distance) point — the paper's
+        "slight relative perturbation".
+    query:
+        The unperturbed query.
+    rng:
+        Randomness source for perturbation directions.
+    epsilon:
+        Relative perturbation magnitude.
+    n_perturbations:
+        Number of perturbed re-runs.
+    """
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be positive")
+    if n_perturbations < 1:
+        raise ConfigurationError("n_perturbations must be at least 1")
+    pts = np.asarray(points, dtype=float)
+    q = np.asarray(query, dtype=float)
+    dists = euclidean_distance(pts, q)
+    nonzero = dists[dists > 0]
+    if nonzero.size == 0:
+        raise ConfigurationError("no nonzero-distance points to scale by")
+    scale = epsilon * float(nonzero.min())
+
+    baseline = np.asarray(searcher(q), dtype=int)
+    overlaps = []
+    for _ in range(n_perturbations):
+        direction = rng.normal(size=q.shape[0])
+        direction /= max(np.linalg.norm(direction), 1e-12)
+        perturbed = q + scale * direction
+        answer = np.asarray(searcher(perturbed), dtype=int)
+        overlaps.append(jaccard(baseline, answer))
+    return StabilityReport(
+        mean_overlap=float(np.mean(overlaps)),
+        overlaps=tuple(overlaps),
+        epsilon=epsilon,
+        baseline_size=int(baseline.size),
+    )

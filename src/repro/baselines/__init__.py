@@ -1,0 +1,6 @@
+"""Baseline searchers the paper compares against."""
+
+from repro.baselines.full_dim import FullDimensionalKNN, KNNResult
+from repro.baselines.projected import ProjectedNN
+
+__all__ = ["FullDimensionalKNN", "KNNResult", "ProjectedNN"]

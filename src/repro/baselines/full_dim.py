@@ -1,0 +1,75 @@
+"""Full-dimensional brute-force kNN — Table 2's ``L2`` baseline.
+
+The comparator the paper measures against: rank all points by their
+distance to the query in the full ``d``-dimensional space and return
+the top ``k``.  No projections, no user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.geometry.distances import MetricFn, euclidean_distance, nearest_neighbors
+
+
+@dataclass(frozen=True)
+class KNNResult:
+    """Neighbors found by a baseline search."""
+
+    neighbor_indices: np.ndarray
+    distances: np.ndarray
+
+
+class FullDimensionalKNN:
+    """Brute-force kNN over the full data dimensionality.
+
+    Parameters
+    ----------
+    dataset:
+        Data to search.
+    metric:
+        Distance function (default Euclidean, the paper's baseline).
+    """
+
+    def __init__(
+        self, dataset: Dataset, *, metric: MetricFn = euclidean_distance
+    ) -> None:
+        self._dataset = dataset
+        self._metric = metric
+
+    @property
+    def dataset(self) -> Dataset:
+        """The searched data set."""
+        return self._dataset
+
+    def query(
+        self, query: np.ndarray, k: int, *, exclude_index: int | None = None
+    ) -> KNNResult:
+        """Top-``k`` neighbors of *query*.
+
+        Parameters
+        ----------
+        query:
+            ``(d,)`` query point.
+        k:
+            Number of neighbors.
+        exclude_index:
+            Optional dataset index excluded from the candidates (the
+            query itself, in leave-one-out evaluations).
+        """
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        points = self._dataset.points
+        if exclude_index is None:
+            idx, dists = nearest_neighbors(points, query, k, metric=self._metric)
+            return KNNResult(neighbor_indices=idx, distances=dists)
+        keep = np.arange(self._dataset.size) != exclude_index
+        candidates = np.flatnonzero(keep)
+        idx, dists = nearest_neighbors(
+            points[candidates], query, k, metric=self._metric
+        )
+        return KNNResult(neighbor_indices=candidates[idx], distances=dists)

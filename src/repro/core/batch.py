@@ -1,0 +1,132 @@
+"""Batch execution of interactive searches over many queries.
+
+The paper's experiments always aggregate over query sets ("10 query
+points"); so do the benchmarks.  This module formalizes that loop:
+run a configured search for every query, collect the per-query results
+and diagnoses, and summarize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.diagnostics import MeaningfulnessDiagnosis, diagnose
+from repro.analysis.quality import natural_neighbors
+from repro.core.search import InteractiveNNSearch, SearchResult
+from repro.exceptions import ConfigurationError
+from repro.interaction.base import UserAgent
+
+UserFactory = Callable[[int], UserAgent]
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One query's outcome within a batch run."""
+
+    query_index: int
+    result: SearchResult = field(hash=False)
+    neighbors: np.ndarray = field(hash=False)
+    diagnosis: MeaningfulnessDiagnosis = field(hash=False)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Aggregate outcome of a batch run.
+
+    Attributes
+    ----------
+    entries:
+        Per-query outcomes, in input order.
+    """
+
+    entries: tuple[BatchEntry, ...]
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries run."""
+        return len(self.entries)
+
+    @property
+    def meaningful_count(self) -> int:
+        """Queries diagnosed as having meaningful neighbors."""
+        return sum(1 for entry in self.entries if entry.diagnosis.meaningful)
+
+    @property
+    def meaningful_fraction(self) -> float:
+        """Fraction of queries with a meaningful outcome."""
+        if not self.entries:
+            return 0.0
+        return self.meaningful_count / self.query_count
+
+    @property
+    def mean_natural_size(self) -> float:
+        """Mean natural-neighbor count over queries that found one."""
+        sizes = [e.neighbors.size for e in self.entries if e.neighbors.size]
+        return float(np.mean(sizes)) if sizes else 0.0
+
+    @property
+    def mean_acceptance_rate(self) -> float:
+        """Mean fraction of views the user accepted."""
+        if not self.entries:
+            return 0.0
+        return float(
+            np.mean([e.diagnosis.acceptance_rate for e in self.entries])
+        )
+
+    def neighbors_of(self, query_index: int) -> np.ndarray:
+        """Natural neighbors of one query (by original query index)."""
+        for entry in self.entries:
+            if entry.query_index == query_index:
+                return entry.neighbors
+        raise ConfigurationError(f"query {query_index} not in this batch")
+
+
+def run_batch(
+    search: InteractiveNNSearch,
+    query_indices: np.ndarray,
+    user_factory: UserFactory,
+) -> BatchResult:
+    """Run the interactive search for every query index.
+
+    Parameters
+    ----------
+    search:
+        A configured search over the target dataset.
+    query_indices:
+        Dataset indices of the query points.
+    user_factory:
+        ``factory(query_index) -> UserAgent`` building a fresh user per
+        query.
+
+    Returns
+    -------
+    BatchResult
+    """
+    indices = np.asarray(query_indices, dtype=int)
+    if indices.size == 0:
+        raise ConfigurationError("query_indices must be non-empty")
+    dataset = search.dataset
+    entries = []
+    for query_index in indices.tolist():
+        if not 0 <= query_index < dataset.size:
+            raise ConfigurationError(
+                f"query index {query_index} out of range for {dataset.size}"
+            )
+        user = user_factory(query_index)
+        result = search.run(dataset.points[query_index], user)
+        neighbors = natural_neighbors(
+            result.probabilities,
+            iterations=len(result.session.major_records),
+        )
+        entries.append(
+            BatchEntry(
+                query_index=query_index,
+                result=result,
+                neighbors=neighbors,
+                diagnosis=diagnose(result),
+            )
+        )
+    return BatchResult(entries=tuple(entries))

@@ -1,0 +1,91 @@
+"""Preference-count bookkeeping (paper Fig. 7).
+
+The search maintains ``v(i)`` — how many of the iteration's projections
+placed point ``i`` inside the user's query cluster.  This module owns
+that state: counts live over the *original* point indices so the
+pruning of the live set between major iterations cannot misalign them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class PreferenceCounter:
+    """Per-point user preference counts for one major iteration.
+
+    Parameters
+    ----------
+    n_points:
+        Size of the original data set; counts are indexed by original
+        point id.
+    """
+
+    def __init__(self, n_points: int) -> None:
+        if n_points <= 0:
+            raise ConfigurationError("n_points must be positive")
+        self._counts = np.zeros(n_points)
+        self._pick_sizes: list[int] = []
+        self._weights: list[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Copy of the current ``v(i)`` vector (original indexing)."""
+        return self._counts.copy()
+
+    @property
+    def pick_sizes(self) -> list[int]:
+        """``n_i`` per recorded projection (0 for rejected views)."""
+        return list(self._pick_sizes)
+
+    @property
+    def weights(self) -> list[float]:
+        """``w_i`` per recorded projection."""
+        return list(self._weights)
+
+    @property
+    def projections_recorded(self) -> int:
+        """Number of projections folded in so far."""
+        return len(self._pick_sizes)
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        live_indices: np.ndarray,
+        selected_mask: np.ndarray,
+        *,
+        weight: float = 1.0,
+    ) -> None:
+        """Fold one projection's user selection into the counts.
+
+        Parameters
+        ----------
+        live_indices:
+            Original indices of the live points shown in the view.
+        selected_mask:
+            Boolean mask over the live points; True = picked.
+        weight:
+            The projection's importance weight ``w_i``.
+        """
+        idx = np.asarray(live_indices, dtype=int)
+        mask = np.asarray(selected_mask, dtype=bool)
+        if mask.shape != idx.shape:
+            raise ConfigurationError("mask must align with live_indices")
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        picked = idx[mask]
+        self._counts[picked] += weight
+        self._pick_sizes.append(int(mask.sum()))
+        self._weights.append(float(weight))
+
+    def counts_for(self, live_indices: np.ndarray) -> np.ndarray:
+        """``v(j)`` restricted to (and aligned with) *live_indices*."""
+        return self._counts[np.asarray(live_indices, dtype=int)]
+
+    def unpicked(self, live_indices: np.ndarray) -> np.ndarray:
+        """Original indices among *live_indices* never picked this iteration."""
+        idx = np.asarray(live_indices, dtype=int)
+        return idx[self._counts[idx] == 0]

@@ -1,0 +1,290 @@
+"""The interactive nearest-neighbor search driver (paper Fig. 2).
+
+One :class:`InteractiveNNSearch` run alternates between the computer's
+work — finding graded, mutually orthogonal query-centered projections —
+and the user's work — separating the query cluster in each view.  After
+every major iteration the user's preference counts become
+meaningfulness probabilities; the run terminates when the top-``s``
+ranking stabilizes (or iteration bounds are hit) and returns the ``s``
+points with the highest probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.counting import PreferenceCounter
+from repro.core.meaningfulness import (
+    MeaningfulnessAccumulator,
+    iteration_statistics,
+)
+from repro.core.projections import find_query_centered_projection
+from repro.core.session import (
+    MajorIterationRecord,
+    MinorIterationRecord,
+    SearchSession,
+)
+from repro.core.termination import StabilityTermination
+from repro.data.dataset import Dataset
+from repro.density.profiles import VisualProfile
+from repro.exceptions import DimensionalityError
+from repro.geometry.subspace import Subspace
+from repro.interaction.base import ProjectionView, UserAgent, validate_decision
+
+
+class TerminationReason(Enum):
+    """Why a search run ended."""
+
+    STABLE = "top-set stabilized"
+    ITERATION_LIMIT = "maximum major iterations reached"
+    EXHAUSTED = "live set too small to continue"
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one interactive search run.
+
+    Attributes
+    ----------
+    neighbor_indices:
+        Indices of the ``s`` points with the highest meaningfulness
+        probability, in descending probability order.
+    probabilities:
+        Final averaged meaningfulness probabilities for every original
+        point (pruned points keep the average over the iterations they
+        participated in).
+    support:
+        The effective support used (``max(config.support, d)``).
+    session:
+        Full audit trail of the run.
+    reason:
+        Why the run terminated.
+    """
+
+    neighbor_indices: np.ndarray
+    probabilities: np.ndarray
+    support: int
+    session: SearchSession = field(hash=False)
+    reason: TerminationReason = TerminationReason.STABLE
+
+    @property
+    def neighbor_probabilities(self) -> np.ndarray:
+        """Probabilities of the returned neighbors, descending."""
+        return self.probabilities[self.neighbor_indices]
+
+
+class InteractiveNNSearch:
+    """The human-computer cooperative search system.
+
+    Parameters
+    ----------
+    dataset:
+        The searched data set.
+    config:
+        Search parameters; defaults reproduce the paper's setup.
+    """
+
+    def __init__(self, dataset: Dataset, config: SearchConfig | None = None) -> None:
+        self._dataset = dataset
+        self._config = config or SearchConfig()
+
+    @property
+    def dataset(self) -> Dataset:
+        """The searched data set."""
+        return self._dataset
+
+    @property
+    def config(self) -> SearchConfig:
+        """The active configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def run(self, query: np.ndarray, user: UserAgent) -> SearchResult:
+        """Execute the full interactive loop for one query.
+
+        Parameters
+        ----------
+        query:
+            ``(d,)`` query point ``Q`` in ambient coordinates.
+        user:
+            Any :class:`~repro.interaction.base.UserAgent`.
+
+        Returns
+        -------
+        SearchResult
+        """
+        q = np.asarray(query, dtype=float)
+        d = self._dataset.dim
+        if q.shape != (d,):
+            raise DimensionalityError(
+                f"query must have shape ({d},), got {q.shape}"
+            )
+        config = self._config
+        n = self._dataset.size
+        support = config.effective_support(d)
+        views_per_major = d // 2
+
+        accumulator = MeaningfulnessAccumulator(n)
+        termination = StabilityTermination(
+            support,
+            config.overlap_threshold,
+            min_iterations=config.min_major_iterations,
+            max_iterations=config.max_major_iterations,
+        )
+        session = SearchSession()
+        live = np.arange(n)
+        reason = TerminationReason.ITERATION_LIMIT
+        rng = np.random.default_rng(config.rng_seed)
+
+        for major in range(config.max_major_iterations):
+            if live.size < 3:
+                reason = TerminationReason.EXHAUSTED
+                break
+            counter = PreferenceCounter(n)
+            self._run_major_iteration(
+                major, live, q, user, counter, session, views_per_major, rng
+            )
+            population = live.size if config.use_live_population else n
+            stats = iteration_statistics(
+                np.asarray(counter.pick_sizes, dtype=float),
+                population,
+                weights=np.asarray(counter.weights, dtype=float),
+            )
+            accumulator.update(live, counter.counts_for(live), stats)
+            probabilities = accumulator.averages()
+            stop = termination.should_stop(probabilities)
+
+            live_after = self._prune(live, counter)
+            session.record_major(
+                MajorIterationRecord(
+                    index=major,
+                    live_count_before=live.size,
+                    live_count_after=live_after.size,
+                    pick_counts=tuple(counter.pick_sizes),
+                    expected=stats.expected,
+                    variance=stats.variance,
+                    accepted_views=sum(1 for s_ in counter.pick_sizes if s_ > 0),
+                    overlap=termination.last_overlap,
+                ),
+                probabilities,
+            )
+            live = live_after
+            if stop:
+                reason = (
+                    TerminationReason.STABLE
+                    if termination.iterations < config.max_major_iterations
+                    or (
+                        termination.last_overlap is not None
+                        and termination.last_overlap >= config.overlap_threshold
+                    )
+                    else TerminationReason.ITERATION_LIMIT
+                )
+                break
+
+        probabilities = accumulator.averages()
+        top = accumulator.top_indices(support)
+        return SearchResult(
+            neighbor_indices=top,
+            probabilities=probabilities,
+            support=support,
+            session=session,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_major_iteration(
+        self,
+        major: int,
+        live: np.ndarray,
+        query: np.ndarray,
+        user: UserAgent,
+        counter: PreferenceCounter,
+        session: SearchSession,
+        views_per_major: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """One cycle of ``d/2`` mutually orthogonal projections."""
+        config = self._config
+        points = self._dataset.points[live]
+        support = config.effective_support(self._dataset.dim)
+        current = Subspace.full(self._dataset.dim)
+
+        for minor in range(views_per_major):
+            if current.dim < 2:
+                break
+            found = find_query_centered_projection(
+                points,
+                query,
+                current,
+                support,
+                axis_parallel=config.axis_parallel,
+                restarts=config.projection_restarts,
+                rng=rng,
+            )
+            projected = found.projection.project(points)
+            query_2d = found.projection.project(query)
+            profile = VisualProfile.build(
+                projected,
+                query_2d,
+                resolution=config.grid_resolution,
+                bandwidth_scale=config.bandwidth_scale,
+            )
+            view = ProjectionView(
+                profile=profile,
+                projected_points=projected,
+                query_2d=query_2d,
+                subspace=found.projection,
+                live_indices=live,
+                major_index=major,
+                minor_index=minor,
+                total_points=self._dataset.size,
+            )
+            decision = validate_decision(user.review_view(view), view)
+            counter.record(
+                live,
+                decision.selected_mask,
+                weight=config.projection_weight * decision.weight,
+            )
+            session.record_minor(
+                MinorIterationRecord(
+                    major_index=major,
+                    minor_index=minor,
+                    subspace=found.projection,
+                    profile_statistics=profile.statistics,
+                    accepted=decision.accepted,
+                    threshold=decision.threshold,
+                    selected_count=decision.selected_count,
+                    live_count=live.size,
+                    note=decision.note,
+                    refinement_dims=found.refinement_dims,
+                    selected_indices=live[decision.selected_mask],
+                )
+            )
+            current = found.remainder
+
+    def _prune(self, live: np.ndarray, counter: PreferenceCounter) -> np.ndarray:
+        """Drop never-picked points (Fig. 2), unless that empties the set.
+
+        When the user rejects every view of an iteration there is no
+        preference signal at all; pruning would delete the entire data
+        set, so the live set is kept unchanged in that case (the
+        meaningfulness probabilities already reflect the absence of
+        signal).  Pruning also requires at least two accepted views —
+        condemning a point on a single view's evidence is statistically
+        unjustified and can permanently lose cluster members that one
+        view's separator happened to miss.
+        """
+        if not self._config.remove_unpicked:
+            return live
+        accepted_views = sum(1 for size in counter.pick_sizes if size > 0)
+        if accepted_views < 2:
+            return live
+        counts = counter.counts_for(live)
+        survivors = live[counts > 0]
+        if survivors.size == 0:
+            return live
+        return survivors

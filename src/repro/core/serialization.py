@@ -1,0 +1,138 @@
+"""JSON serialization of search results and sessions.
+
+An interactive session is an experiment artifact: which projections
+were shown, what the user decided, how the meaningfulness distribution
+evolved.  This module renders a :class:`~repro.core.search.SearchResult`
+(or a bare session) as plain JSON-compatible dictionaries so runs can
+be archived, diffed, and analyzed outside Python.
+
+Subspace bases are stored as nested lists; probability vectors can be
+truncated to the top ``k`` entries to keep archives small.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.search import SearchResult
+from repro.core.session import SearchSession
+
+
+def session_to_dict(
+    session: SearchSession, *, include_bases: bool = False
+) -> dict[str, Any]:
+    """Render a session as a JSON-compatible dictionary.
+
+    Parameters
+    ----------
+    session:
+        The session to serialize.
+    include_bases:
+        Store each view's 2-D subspace basis (bulky for long sessions).
+    """
+    minors = []
+    for record in session.minor_records:
+        stats = record.profile_statistics
+        entry: dict[str, Any] = {
+            "major": record.major_index,
+            "minor": record.minor_index,
+            "accepted": record.accepted,
+            "threshold": record.threshold,
+            "selected_count": record.selected_count,
+            "live_count": record.live_count,
+            "note": record.note,
+            "refinement_dims": list(record.refinement_dims),
+            "profile": {
+                "query_density": stats.query_density,
+                "peak_density": stats.peak_density,
+                "median_density": stats.median_density,
+                "query_percentile": stats.query_percentile,
+                "peak_to_median": stats.peak_to_median,
+                "local_contrast": stats.local_contrast,
+            },
+        }
+        if include_bases:
+            entry["basis"] = record.subspace.basis.tolist()
+        minors.append(entry)
+    majors = [
+        {
+            "index": record.index,
+            "live_before": record.live_count_before,
+            "live_after": record.live_count_after,
+            "pick_counts": list(record.pick_counts),
+            "expected": record.expected,
+            "variance": record.variance,
+            "accepted_views": record.accepted_views,
+            "overlap": record.overlap,
+        }
+        for record in session.major_records
+    ]
+    return {
+        "total_views": session.total_views,
+        "accepted_views": session.accepted_views,
+        "minor_iterations": minors,
+        "major_iterations": majors,
+    }
+
+
+def result_to_dict(
+    result: SearchResult,
+    *,
+    top_k_probabilities: int | None = 100,
+    include_bases: bool = False,
+) -> dict[str, Any]:
+    """Render a search result (and its session) as a dictionary.
+
+    Parameters
+    ----------
+    result:
+        The finished search result.
+    top_k_probabilities:
+        Store only the ``k`` highest-probability points (index, value)
+        instead of the full vector; ``None`` stores everything.
+    include_bases:
+        Forwarded to :func:`session_to_dict`.
+    """
+    probs = result.probabilities
+    if top_k_probabilities is None:
+        prob_payload: Any = probs.tolist()
+    else:
+        order = np.argsort(-probs, kind="stable")[:top_k_probabilities]
+        prob_payload = [
+            {"index": int(i), "probability": float(probs[i])} for i in order
+        ]
+    return {
+        "support": result.support,
+        "reason": result.reason.value,
+        "neighbor_indices": result.neighbor_indices.tolist(),
+        "probabilities": prob_payload,
+        "session": session_to_dict(result.session, include_bases=include_bases),
+    }
+
+
+def save_result(
+    result: SearchResult,
+    path: str | Path,
+    *,
+    top_k_probabilities: int | None = 100,
+    include_bases: bool = False,
+) -> Path:
+    """Write a search result as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = result_to_dict(
+        result,
+        top_k_probabilities=top_k_probabilities,
+        include_bases=include_bases,
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result_dict(path: str | Path) -> dict[str, Any]:
+    """Read back a result archive as a plain dictionary."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,145 @@
+"""Audit trail of an interactive search run.
+
+Every minor iteration (one projection shown, one user decision) and
+every major iteration (statistics, pruning, overlap) is recorded so
+experiments can be analyzed after the fact — which projections the user
+accepted, how the meaningfulness distribution evolved, where the search
+terminated.  The paper's qualitative claims about graded projection
+quality (Figs. 10-11) are verified directly from these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.density.profiles import ProfileStatistics
+from repro.geometry.subspace import Subspace
+
+
+@dataclass(frozen=True)
+class MinorIterationRecord:
+    """One projection presented to the user and the user's reaction.
+
+    Attributes
+    ----------
+    major_index, minor_index:
+        Zero-based iteration coordinates.
+    subspace:
+        The 2-D projection subspace in ambient coordinates.
+    profile_statistics:
+        Density profile summary shown to the user.
+    accepted:
+        Whether the user separated a cluster (vs. rejected the view).
+    threshold:
+        The separator height chosen, when applicable.
+    selected_count:
+        Number of points placed in the query cluster.
+    live_count:
+        Size of the live data set during the view.
+    note:
+        The user agent's free-form explanation.
+    refinement_dims:
+        The ``l_p`` sequence traversed while refining the projection.
+    selected_indices:
+        Original dataset indices the user placed in the query cluster
+        (empty for rejected views).  Powers post-hoc analyses such as
+        attribute importance.
+    """
+
+    major_index: int
+    minor_index: int
+    subspace: Subspace
+    profile_statistics: ProfileStatistics
+    accepted: bool
+    threshold: float | None
+    selected_count: int
+    live_count: int
+    note: str
+    refinement_dims: tuple[int, ...]
+    selected_indices: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+
+
+@dataclass(frozen=True)
+class MajorIterationRecord:
+    """One full cycle of ``d/2`` projections and its statistics.
+
+    Attributes
+    ----------
+    index:
+        Zero-based major iteration number.
+    live_count_before, live_count_after:
+        Live set size before and after the zero-count pruning step.
+    pick_counts:
+        ``n_i`` per projection.
+    expected, variance:
+        The iteration's null statistics ``E[Y]`` / ``var(Y)``.
+    accepted_views:
+        Number of views the user accepted.
+    overlap:
+        Top-``s`` overlap against the previous iteration (None for the
+        first iteration).
+    """
+
+    index: int
+    live_count_before: int
+    live_count_after: int
+    pick_counts: tuple[int, ...]
+    expected: float
+    variance: float
+    accepted_views: int
+    overlap: float | None
+
+
+@dataclass
+class SearchSession:
+    """Mutable collector for one search run's history."""
+
+    minor_records: list[MinorIterationRecord] = field(default_factory=list)
+    major_records: list[MajorIterationRecord] = field(default_factory=list)
+    probability_history: list[np.ndarray] = field(default_factory=list)
+
+    def record_minor(self, record: MinorIterationRecord) -> None:
+        """Append one minor iteration record."""
+        self.minor_records.append(record)
+
+    def record_major(
+        self, record: MajorIterationRecord, probabilities: np.ndarray
+    ) -> None:
+        """Append one major iteration record plus a probability snapshot."""
+        self.major_records.append(record)
+        self.probability_history.append(np.asarray(probabilities, dtype=float).copy())
+
+    # ------------------------------------------------------------------
+    @property
+    def total_views(self) -> int:
+        """Total projections shown across the whole run."""
+        return len(self.minor_records)
+
+    @property
+    def accepted_views(self) -> int:
+        """Total projections the user accepted."""
+        return sum(1 for record in self.minor_records if record.accepted)
+
+    def minor_records_of(self, major_index: int) -> list[MinorIterationRecord]:
+        """Minor records belonging to one major iteration."""
+        return [
+            record
+            for record in self.minor_records
+            if record.major_index == major_index
+        ]
+
+    def profile_quality_by_minor_index(self) -> dict[int, list[float]]:
+        """Peak-to-median relief per minor position, across major iterations.
+
+        The paper's graded-subspace claim (Figs. 10-11) predicts this
+        declines with the minor index: early views are crisp, late views
+        noisy.
+        """
+        quality: dict[int, list[float]] = {}
+        for record in self.minor_records:
+            quality.setdefault(record.minor_index, []).append(
+                record.profile_statistics.peak_to_median
+            )
+        return quality

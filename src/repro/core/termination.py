@@ -1,0 +1,93 @@
+"""Termination criterion (paper §3, end).
+
+The search stops when the ordering of meaningfulness probabilities has
+stabilized: the sets of ``s`` highest-probability points from two
+consecutive major iterations overlap by at least the threshold ``t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def top_set_overlap(previous: np.ndarray, current: np.ndarray) -> float:
+    """Fraction of *current* that also appears in *previous*.
+
+    Both arguments are index arrays of equal nominal size ``s``; the
+    overlap is ``|previous ∩ current| / |current|``.
+    """
+    prev = set(np.asarray(previous, dtype=int).tolist())
+    curr = np.asarray(current, dtype=int)
+    if curr.size == 0:
+        return 1.0
+    common = sum(1 for idx in curr.tolist() if idx in prev)
+    return common / curr.size
+
+
+class StabilityTermination:
+    """Stateful top-``s`` overlap tracker.
+
+    Parameters
+    ----------
+    support:
+        Size ``s`` of the compared top sets.
+    overlap_threshold:
+        Required overlap fraction ``t``.
+    min_iterations, max_iterations:
+        Bounds on major iterations (the minimum ensures at least one
+        comparison happens; the maximum is a safety stop).
+    """
+
+    def __init__(
+        self,
+        support: int,
+        overlap_threshold: float,
+        *,
+        min_iterations: int = 2,
+        max_iterations: int = 8,
+    ) -> None:
+        if support <= 0:
+            raise ConfigurationError("support must be positive")
+        if not 0 < overlap_threshold <= 1:
+            raise ConfigurationError("overlap_threshold must be in (0, 1]")
+        self._support = support
+        self._threshold = overlap_threshold
+        self._min_iterations = min_iterations
+        self._max_iterations = max_iterations
+        self._previous_top: np.ndarray | None = None
+        self._iterations = 0
+        self.last_overlap: float | None = None
+
+    @property
+    def iterations(self) -> int:
+        """Major iterations observed so far."""
+        return self._iterations
+
+    def should_stop(self, probabilities: np.ndarray) -> bool:
+        """Record one major iteration's probabilities; True = terminate.
+
+        Parameters
+        ----------
+        probabilities:
+            Current averaged meaningfulness probabilities over all
+            original points.
+        """
+        probs = np.asarray(probabilities, dtype=float)
+        order = np.argsort(-probs, kind="stable")
+        current_top = order[: self._support]
+        self._iterations += 1
+
+        stop = False
+        if self._previous_top is not None:
+            self.last_overlap = top_set_overlap(self._previous_top, current_top)
+            if (
+                self._iterations >= self._min_iterations
+                and self.last_overlap >= self._threshold
+            ):
+                stop = True
+        self._previous_top = current_top
+        if self._iterations >= self._max_iterations:
+            stop = True
+        return stop

@@ -1,0 +1,60 @@
+"""Data substrate: dataset container, generators, canned workloads."""
+
+from repro.data.dataset import NOISE_LABEL, Dataset
+from repro.data.loaders import (
+    load_csv_dataset,
+    load_ionosphere,
+    load_segmentation,
+)
+from repro.data.synthetic import (
+    ClusterGroundTruth,
+    ProjectedClusterData,
+    ProjectedClusterSpec,
+    case1_dataset,
+    case2_dataset,
+    gaussian_mixture_dataset,
+    generate_projected_clusters,
+    uniform_dataset,
+)
+from repro.data.uci import (
+    ClassStructureSpec,
+    generate_class_structured,
+    ionosphere_like,
+    segmentation_like,
+)
+from repro.data.workloads import (
+    QueryWorkload,
+    ionosphere_workload,
+    pick_cluster_queries,
+    segmentation_workload,
+    synthetic_case1_workload,
+    synthetic_case2_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "Dataset",
+    "load_ionosphere",
+    "load_segmentation",
+    "load_csv_dataset",
+    "NOISE_LABEL",
+    "ProjectedClusterSpec",
+    "ProjectedClusterData",
+    "ClusterGroundTruth",
+    "generate_projected_clusters",
+    "case1_dataset",
+    "case2_dataset",
+    "uniform_dataset",
+    "gaussian_mixture_dataset",
+    "ClassStructureSpec",
+    "generate_class_structured",
+    "ionosphere_like",
+    "segmentation_like",
+    "QueryWorkload",
+    "pick_cluster_queries",
+    "synthetic_case1_workload",
+    "synthetic_case2_workload",
+    "uniform_workload",
+    "ionosphere_workload",
+    "segmentation_workload",
+]

@@ -1,0 +1,133 @@
+"""Dataset container used throughout the library.
+
+A :class:`Dataset` bundles the point matrix with optional ground-truth
+labels (cluster membership or class labels) and metadata.  Labels are
+never consulted by the search core — only by oracle users, evaluation
+code, and classification experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError, EmptyDatasetError
+
+#: Label value assigned to background-noise points in synthetic data.
+NOISE_LABEL = -1
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Points plus optional ground truth.
+
+    Attributes
+    ----------
+    points:
+        ``(n, d)`` float array of row points.
+    labels:
+        Optional ``(n,)`` integer labels; ``NOISE_LABEL`` marks noise.
+    name:
+        Human-readable data set name.
+    metadata:
+        Free-form generator parameters, recorded for provenance.
+    """
+
+    points: np.ndarray
+    labels: np.ndarray | None = None
+    name: str = "unnamed"
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=float)
+        if pts.ndim != 2:
+            raise DimensionalityError("points must be a 2-D array")
+        if pts.shape[0] == 0:
+            raise EmptyDatasetError("dataset must contain at least one point")
+        object.__setattr__(self, "points", pts)
+        if self.labels is not None:
+            lab = np.asarray(self.labels, dtype=int)
+            if lab.shape != (pts.shape[0],):
+                raise DimensionalityError(
+                    f"labels shape {lab.shape} does not match {pts.shape[0]} points"
+                )
+            object.__setattr__(self, "labels", lab)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of points ``N``."""
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimensionality ``d``."""
+        return self.points.shape[1]
+
+    @property
+    def has_labels(self) -> bool:
+        """Whether ground-truth labels are attached."""
+        return self.labels is not None
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    def label_of(self, index: int) -> int:
+        """Ground-truth label of one point (requires labels)."""
+        if self.labels is None:
+            raise EmptyDatasetError(f"dataset {self.name!r} carries no labels")
+        return int(self.labels[index])
+
+    def cluster_indices(self, label: int) -> np.ndarray:
+        """Indices of all points carrying *label*."""
+        if self.labels is None:
+            raise EmptyDatasetError(f"dataset {self.name!r} carries no labels")
+        return np.flatnonzero(self.labels == label)
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """Histogram of labels (noise included under ``NOISE_LABEL``)."""
+        if self.labels is None:
+            raise EmptyDatasetError(f"dataset {self.name!r} carries no labels")
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def subset(self, indices: np.ndarray, *, name: str | None = None) -> "Dataset":
+        """New dataset restricted to *indices* (labels carried along)."""
+        idx = np.asarray(indices, dtype=int)
+        return replace(
+            self,
+            points=self.points[idx],
+            labels=None if self.labels is None else self.labels[idx],
+            name=name or f"{self.name}[subset:{idx.size}]",
+        )
+
+    def normalized(self) -> "Dataset":
+        """Min-max normalize each attribute to ``[0, 1]``.
+
+        Constant attributes map to 0.  Normalization is standard
+        practice before distance-based search so no attribute dominates
+        by scale alone.
+        """
+        lo = self.points.min(axis=0)
+        hi = self.points.max(axis=0)
+        span = hi - lo
+        span[span == 0] = 1.0
+        scaled = (self.points - lo) / span
+        return replace(self, points=scaled, name=f"{self.name}[normalized]")
+
+    def standardized(self) -> "Dataset":
+        """Z-score each attribute (constant attributes stay zero)."""
+        mu = self.points.mean(axis=0)
+        sigma = self.points.std(axis=0)
+        sigma[sigma == 0] = 1.0
+        return replace(
+            self, points=(self.points - mu) / sigma, name=f"{self.name}[standardized]"
+        )
+
+    def without_index(self, index: int) -> "Dataset":
+        """Drop one point — used for leave-one-out classification."""
+        keep = np.arange(self.size) != index
+        return self.subset(np.flatnonzero(keep), name=f"{self.name}[loo:{index}]")

@@ -1,0 +1,179 @@
+"""Loaders for the actual UCI data files, when available.
+
+This environment has no network access, so the canned workloads use
+synthetic stand-ins (see :mod:`repro.data.uci`).  Users who *do* have
+the original files can load them here and run the identical pipeline:
+
+* ``ionosphere.data`` — 34 comma-separated floats + a ``g``/``b`` class
+  letter per line (351 lines).
+* ``segmentation.data`` / ``segmentation.test`` — the UCI image
+  segmentation format: optional header lines, then
+  ``CLASSNAME,19 comma-separated floats`` per line.
+
+Both loaders return the same :class:`~repro.data.dataset.Dataset` type
+the rest of the library consumes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+
+#: Class letter -> label for the ionosphere format.
+IONOSPHERE_CLASSES = {"g": 0, "b": 1}
+
+#: Canonical class order of the UCI image segmentation set.
+SEGMENTATION_CLASSES = (
+    "BRICKFACE",
+    "SKY",
+    "FOLIAGE",
+    "CEMENT",
+    "WINDOW",
+    "PATH",
+    "GRASS",
+)
+
+
+def load_ionosphere(path: str | Path) -> Dataset:
+    """Parse a UCI ``ionosphere.data`` file.
+
+    Each line holds 34 numeric attributes followed by ``g`` (good) or
+    ``b`` (bad); blank lines are skipped.
+
+    Raises
+    ------
+    ConfigurationError
+        On malformed rows (wrong arity or unknown class letter).
+    """
+    path = Path(path)
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split(",")
+        if len(parts) != 35:
+            raise ConfigurationError(
+                f"{path.name}:{line_no}: expected 35 fields, got {len(parts)}"
+            )
+        klass = parts[-1].strip().lower()
+        if klass not in IONOSPHERE_CLASSES:
+            raise ConfigurationError(
+                f"{path.name}:{line_no}: unknown class {klass!r}"
+            )
+        try:
+            rows.append([float(value) for value in parts[:-1]])
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{path.name}:{line_no}: non-numeric attribute ({exc})"
+            ) from None
+        labels.append(IONOSPHERE_CLASSES[klass])
+    if not rows:
+        raise ConfigurationError(f"{path} contains no data rows")
+    return Dataset(
+        points=np.asarray(rows, dtype=float),
+        labels=np.asarray(labels, dtype=int),
+        name="ionosphere",
+        metadata={"source": str(path), "classes": dict(IONOSPHERE_CLASSES)},
+    )
+
+
+def load_segmentation(path: str | Path) -> Dataset:
+    """Parse a UCI image ``segmentation.data`` / ``segmentation.test`` file.
+
+    The format starts with up to five header lines (the class list and
+    blank lines), then one ``CLASS,attr1,...,attr19`` row per instance.
+    Header lines are detected by not containing exactly 20 fields.
+    """
+    path = Path(path)
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    class_index = {name: i for i, name in enumerate(SEGMENTATION_CLASSES)}
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split(",")
+        if len(parts) != 20:
+            # Header / class-list line; tolerate silently.
+            continue
+        klass = parts[0].strip().upper()
+        if klass not in class_index:
+            raise ConfigurationError(
+                f"{path.name}:{line_no}: unknown class {klass!r}"
+            )
+        try:
+            rows.append([float(value) for value in parts[1:]])
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{path.name}:{line_no}: non-numeric attribute ({exc})"
+            ) from None
+        labels.append(class_index[klass])
+    if not rows:
+        raise ConfigurationError(f"{path} contains no data rows")
+    return Dataset(
+        points=np.asarray(rows, dtype=float),
+        labels=np.asarray(labels, dtype=int),
+        name="segmentation",
+        metadata={"source": str(path), "classes": list(SEGMENTATION_CLASSES)},
+    )
+
+
+def load_csv_dataset(
+    path: str | Path,
+    *,
+    label_column: int | None = None,
+    delimiter: str = ",",
+    skip_header: int = 0,
+    name: str | None = None,
+) -> Dataset:
+    """Generic numeric-CSV loader for user data.
+
+    Parameters
+    ----------
+    path:
+        File of numeric rows.
+    label_column:
+        Optional column holding integer class labels (negative indices
+        count from the end, e.g. ``-1`` for a trailing label).
+    delimiter:
+        Field separator.
+    skip_header:
+        Leading lines to ignore.
+    name:
+        Dataset name (defaults to the file stem).
+    """
+    path = Path(path)
+    try:
+        raw = np.loadtxt(
+            path,
+            delimiter=delimiter,
+            skiprows=skip_header,
+            dtype=float,
+            ndmin=2,
+        )
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{path} contains non-numeric cells ({exc})"
+        ) from None
+    if raw.size == 0:
+        raise ConfigurationError(f"{path} contains no numeric data")
+    labels = None
+    points = raw
+    if label_column is not None:
+        column = label_column % raw.shape[1]
+        labels = raw[:, column].astype(int)
+        points = np.delete(raw, column, axis=1)
+        if points.shape[1] == 0:
+            raise ConfigurationError("no attribute columns left after label")
+    return Dataset(
+        points=points,
+        labels=labels,
+        name=name or path.stem,
+        metadata={"source": str(path)},
+    )

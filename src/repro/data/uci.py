@@ -1,0 +1,188 @@
+"""Synthetic stand-ins for the UCI data sets used in the paper's §4.3.
+
+The paper evaluates on UCI ``ionosphere`` (34 attributes, 351 points,
+2 classes) and ``image segmentation`` (19 attributes, 7 classes).  This
+environment has no network access, so we generate *statistically
+faithful stand-ins* from the published characteristics:
+
+* matching dimensionality, size, and class counts;
+* class structure confined to **correlated low-dimensional subspaces**
+  with the remaining attributes behaving as noise — the property the
+  paper's technique exploits on the real data (its §4.3 observes that
+  ionosphere behaves like the clustered synthetic data, not like
+  uniform noise);
+* per-class anisotropic covariance so classes overlap in full
+  dimensionality (keeping full-dimensional L2 classification imperfect,
+  as the paper's Table 2 baselines show: 71% / 61%).
+
+The *shape* of Table 2 — interactive search beats full-dimensional L2,
+with a larger margin when more attributes are nuisance — is preserved
+by construction.  Absolute accuracy numbers are not comparable to the
+paper's and are reported as substitutions in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClassStructureSpec:
+    """Characteristics of a class-structured stand-in data set.
+
+    Attributes
+    ----------
+    name:
+        Data set name.
+    n_points:
+        Total number of points.
+    dim:
+        Number of attributes.
+    class_proportions:
+        Relative class sizes (normalized internally).
+    signal_dim:
+        Dimensionality of the informative subspace per class.
+    class_spread:
+        In-subspace standard deviation of a class (relative scale).
+    noise_spread:
+        Spread of nuisance attributes; larger drowns the signal in
+        full-dimensional distance computations.
+    class_separation:
+        Distance scale between class anchors inside the signal space.
+    n_subclusters:
+        Sub-clusters per class (real data is rarely unimodal).
+    """
+
+    name: str
+    n_points: int
+    dim: int
+    class_proportions: tuple[float, ...]
+    signal_dim: int
+    class_spread: float = 0.06
+    noise_spread: float = 0.5
+    class_separation: float = 1.0
+    n_subclusters: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_points <= 0:
+            raise ConfigurationError("n_points must be positive")
+        if not 0 < self.signal_dim <= self.dim:
+            raise ConfigurationError("need 0 < signal_dim <= dim")
+        if not self.class_proportions:
+            raise ConfigurationError("class_proportions must be non-empty")
+        if any(p <= 0 for p in self.class_proportions):
+            raise ConfigurationError("class proportions must be positive")
+        if self.n_subclusters <= 0:
+            raise ConfigurationError("n_subclusters must be positive")
+
+
+def generate_class_structured(
+    spec: ClassStructureSpec, rng: np.random.Generator
+) -> Dataset:
+    """Generate a labelled data set with subspace-confined class structure.
+
+    Each class gets its own random ``signal_dim``-dimensional subspace
+    (drawn from a shared rotation so the subspaces differ but are fixed
+    per class) holding ``n_subclusters`` tight anchors; nuisance
+    coordinates are broad Gaussians shared across classes.
+    """
+    d = spec.dim
+    props = np.asarray(spec.class_proportions, dtype=float)
+    props = props / props.sum()
+    raw = props * spec.n_points
+    sizes = np.floor(raw).astype(int)
+    shortfall = spec.n_points - sizes.sum()
+    order = np.argsort(-(raw - sizes), kind="stable")
+    sizes[order[:shortfall]] += 1
+
+    points = np.empty((spec.n_points, d))
+    labels = np.empty(spec.n_points, dtype=int)
+    fine_labels = np.empty(spec.n_points, dtype=int)
+    cursor = 0
+    for label, size in enumerate(sizes):
+        size = int(size)
+        if size == 0:
+            continue
+        # Informative axes for this class: a random subset of attributes
+        # (axis-aligned, as UCI attributes are individually meaningful).
+        signal_axes = rng.choice(d, size=spec.signal_dim, replace=False)
+        block = rng.normal(0.0, spec.noise_spread, size=(size, d))
+        anchors = rng.normal(
+            0.0, spec.class_separation, size=(spec.n_subclusters, spec.signal_dim)
+        )
+        sub_assign = rng.integers(0, spec.n_subclusters, size=size)
+        signal = anchors[sub_assign] + rng.normal(
+            0.0, spec.class_spread, size=(size, spec.signal_dim)
+        )
+        # Correlate the signal coordinates mildly, as real attributes are.
+        mix = np.eye(spec.signal_dim) + 0.3 * rng.normal(
+            0.0, 1.0, size=(spec.signal_dim, spec.signal_dim)
+        ) / np.sqrt(spec.signal_dim)
+        block[:, signal_axes] = signal @ mix.T
+        points[cursor : cursor + size] = block
+        labels[cursor : cursor + size] = label
+        fine_labels[cursor : cursor + size] = (
+            label * spec.n_subclusters + sub_assign
+        )
+        cursor += size
+
+    # Shuffle so class blocks are interleaved like a real file.
+    perm = rng.permutation(spec.n_points)
+    return Dataset(
+        points=points[perm],
+        labels=labels[perm],
+        name=spec.name,
+        metadata={
+            "n_points": spec.n_points,
+            "dim": spec.dim,
+            "n_classes": len(spec.class_proportions),
+            "signal_dim": spec.signal_dim,
+            "fine_labels": fine_labels[perm],
+            "substitution": "synthetic stand-in for UCI dataset (no network)",
+        },
+    )
+
+
+def ionosphere_like(rng: np.random.Generator) -> Dataset:
+    """Stand-in for UCI ionosphere: 351 points, 34 attrs, 2 classes.
+
+    The real set has 225 "good" and 126 "bad" radar returns; class
+    structure is known to concentrate in a minority of the 34
+    attributes, which is what the spec encodes (signal_dim=6).
+    """
+    spec = ClassStructureSpec(
+        name="ionosphere-like",
+        n_points=351,
+        dim=34,
+        class_proportions=(225.0, 126.0),
+        signal_dim=6,
+        noise_spread=1.6,
+        class_separation=1.1,
+        n_subclusters=2,
+    )
+    return generate_class_structured(spec, rng)
+
+
+def segmentation_like(rng: np.random.Generator) -> Dataset:
+    """Stand-in for UCI image segmentation: 2310 points, 19 attrs, 7 classes.
+
+    Seven equally sized classes (brickface, sky, foliage, cement,
+    window, path, grass) described by 19 pixel statistics; several
+    attributes are highly correlated, several nearly constant.
+    """
+    spec = ClassStructureSpec(
+        name="segmentation-like",
+        n_points=2310,
+        dim=19,
+        class_proportions=tuple([1.0] * 7),
+        signal_dim=5,
+        noise_spread=1.4,
+        class_separation=1.0,
+        n_subclusters=2,
+    )
+    return generate_class_structured(spec, rng)

@@ -1,0 +1,116 @@
+"""Canned experiment workloads keyed by experiment identifier.
+
+Every benchmark and example pulls its data through this module so that
+DESIGN.md's per-experiment index has a single authoritative mapping
+from experiment id to workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import NOISE_LABEL, Dataset
+from repro.data.synthetic import (
+    ProjectedClusterData,
+    case1_dataset,
+    case2_dataset,
+    uniform_dataset,
+)
+from repro.data.uci import ionosphere_like, segmentation_like
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A dataset together with query points and their ground truth.
+
+    Attributes
+    ----------
+    dataset:
+        The searched data set.
+    query_indices:
+        Indices of the points used as queries.  Queries are members of
+        the data set (the paper picks query points inside clusters whose
+        size is 0.5–5% of the data).
+    """
+
+    dataset: Dataset
+    query_indices: np.ndarray
+
+    @property
+    def queries(self) -> np.ndarray:
+        """Query points, ``(m, d)``."""
+        return self.dataset.points[self.query_indices]
+
+
+def pick_cluster_queries(
+    dataset: Dataset,
+    rng: np.random.Generator,
+    *,
+    count: int = 10,
+    exclude_noise: bool = True,
+) -> np.ndarray:
+    """Pick *count* query indices from labelled cluster members.
+
+    Mirrors the paper's policy of querying from natural clusters; noise
+    points are excluded by default.
+    """
+    if dataset.labels is None:
+        raise ConfigurationError("pick_cluster_queries requires labels")
+    eligible = (
+        np.flatnonzero(dataset.labels != NOISE_LABEL)
+        if exclude_noise
+        else np.arange(dataset.size)
+    )
+    if eligible.size == 0:
+        raise ConfigurationError("no eligible query points")
+    count = min(count, eligible.size)
+    return rng.choice(eligible, size=count, replace=False)
+
+
+def synthetic_case1_workload(
+    seed: int = 7, *, n_points: int = 5000, n_queries: int = 10
+) -> tuple[ProjectedClusterData, QueryWorkload]:
+    """Table 1 row 1 / Figs. 10-11 workload (Synthetic 1, Case 1)."""
+    rng = np.random.default_rng(seed)
+    data = case1_dataset(rng, n_points=n_points)
+    queries = pick_cluster_queries(data.dataset, rng, count=n_queries)
+    return data, QueryWorkload(dataset=data.dataset, query_indices=queries)
+
+
+def synthetic_case2_workload(
+    seed: int = 11, *, n_points: int = 5000, n_queries: int = 10
+) -> tuple[ProjectedClusterData, QueryWorkload]:
+    """Table 1 row 2 workload (Synthetic 2, Case 2)."""
+    rng = np.random.default_rng(seed)
+    data = case2_dataset(rng, n_points=n_points)
+    queries = pick_cluster_queries(data.dataset, rng, count=n_queries)
+    return data, QueryWorkload(dataset=data.dataset, query_indices=queries)
+
+
+def uniform_workload(
+    seed: int = 13, *, n_points: int = 5000, dim: int = 20, n_queries: int = 5
+) -> QueryWorkload:
+    """Fig. 12 / §4.2 workload (uniform, meaningless NN search)."""
+    rng = np.random.default_rng(seed)
+    dataset = uniform_dataset(rng, n_points=n_points, dim=dim)
+    queries = rng.choice(dataset.size, size=n_queries, replace=False)
+    return QueryWorkload(dataset=dataset, query_indices=queries)
+
+
+def ionosphere_workload(seed: int = 17, *, n_queries: int = 10) -> QueryWorkload:
+    """Fig. 13 / Table 2 row 1 workload (ionosphere-like stand-in)."""
+    rng = np.random.default_rng(seed)
+    dataset = ionosphere_like(rng)
+    queries = pick_cluster_queries(dataset, rng, count=n_queries, exclude_noise=False)
+    return QueryWorkload(dataset=dataset, query_indices=queries)
+
+
+def segmentation_workload(seed: int = 19, *, n_queries: int = 10) -> QueryWorkload:
+    """Table 2 row 2 workload (segmentation-like stand-in)."""
+    rng = np.random.default_rng(seed)
+    dataset = segmentation_like(rng)
+    queries = pick_cluster_queries(dataset, rng, count=n_queries, exclude_noise=False)
+    return QueryWorkload(dataset=dataset, query_indices=queries)

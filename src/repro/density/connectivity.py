@@ -1,0 +1,162 @@
+"""Density connectivity — Definitions 2.1 and 2.2 of the paper.
+
+A point ``x`` is *density connected* to the query ``Q`` at noise
+threshold ``tau`` when a path from ``x`` to ``Q`` exists along which the
+density never drops below ``tau``.  The paper approximates this on the
+``p x p`` grid: the region ``R(tau, Q)`` is the set of elementary
+rectangles reachable from the rectangle containing ``Q`` through
+4-adjacent rectangles each having at least three corners above ``tau``.
+A flood fill (breadth-first search) from ``Q``'s rectangle computes
+``R(tau, Q)``; data points inside any member rectangle form the query
+cluster.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.density.grid import DensityGrid
+from repro.exceptions import DimensionalityError
+
+#: Definition 2.2 requires at least this many corners above threshold.
+MIN_CORNERS_ABOVE = 3
+
+
+@dataclass(frozen=True)
+class ConnectedRegion:
+    """The region ``R(tau, Q)`` of a density grid.
+
+    Attributes
+    ----------
+    mask:
+        ``(p-1, p-1)`` boolean array flagging member rectangles.
+    threshold:
+        The noise threshold ``tau`` used.
+    query_cell:
+        The ``(i, j)`` cell containing the query point.
+    seeded:
+        False when the query's own rectangle failed the corner test, in
+        which case the region is empty (the query sits in noise at this
+        threshold).
+    """
+
+    mask: np.ndarray
+    threshold: float
+    query_cell: tuple[int, int]
+    seeded: bool
+
+    @property
+    def cell_count(self) -> int:
+        """Number of rectangles in the region."""
+        return int(self.mask.sum())
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no rectangle qualified."""
+        return not bool(self.mask.any())
+
+
+def connected_region(
+    grid: DensityGrid, query: np.ndarray, threshold: float
+) -> ConnectedRegion:
+    """Compute ``R(tau, Q)`` by flood fill (paper §2.3).
+
+    Parameters
+    ----------
+    grid:
+        Density grid of the current 2-D projection.
+    query:
+        The query point's 2-D coordinates in the projection.
+    threshold:
+        Noise threshold ``tau``.  ``tau <= 0`` marks every rectangle
+        whose corner test passes trivially — with a strictly positive
+        density floor the whole grid becomes one region, matching the
+        paper's remark that ``tau = 0`` includes all points.
+
+    Returns
+    -------
+    ConnectedRegion
+    """
+    q = np.asarray(query, dtype=float)
+    if q.shape != (2,):
+        raise DimensionalityError("query must be a 2-vector in the projection")
+    qualifies = grid.corners_above(threshold) >= MIN_CORNERS_ABOVE
+    start = grid.cell_of(q)
+    mask = np.zeros_like(qualifies, dtype=bool)
+    if not qualifies[start]:
+        return ConnectedRegion(
+            mask=mask, threshold=threshold, query_cell=start, seeded=False
+        )
+    # BFS flood fill over 4-adjacent qualifying rectangles.
+    rows, cols = qualifies.shape
+    queue: deque[tuple[int, int]] = deque([start])
+    mask[start] = True
+    while queue:
+        i, j = queue.popleft()
+        for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if 0 <= ni < rows and 0 <= nj < cols:
+                if qualifies[ni, nj] and not mask[ni, nj]:
+                    mask[ni, nj] = True
+                    queue.append((ni, nj))
+    return ConnectedRegion(
+        mask=mask, threshold=threshold, query_cell=start, seeded=True
+    )
+
+
+def points_in_region(
+    grid: DensityGrid, region: ConnectedRegion, points: np.ndarray
+) -> np.ndarray:
+    """Boolean membership of each 2-D point in the region's rectangles."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise DimensionalityError("points must be (n, 2)")
+    if region.is_empty:
+        return np.zeros(pts.shape[0], dtype=bool)
+    cells = grid.cells_of(pts)
+    return region.mask[cells[:, 0], cells[:, 1]]
+
+
+def density_connected_points(
+    grid: DensityGrid,
+    query: np.ndarray,
+    threshold: float,
+    points: np.ndarray,
+) -> np.ndarray:
+    """Indices of *points* density-connected to *query* at *threshold*.
+
+    Convenience wrapper: flood fill plus membership test, returning the
+    integer indices of the query cluster within *points*.
+    """
+    region = connected_region(grid, query, threshold)
+    member = points_in_region(grid, region, points)
+    return np.flatnonzero(member)
+
+
+def region_count_at(grid: DensityGrid, threshold: float) -> int:
+    """Number of distinct connected regions at *threshold*.
+
+    Used by diagnostics and the heuristic user: a well-clustered
+    projection shows a few crisp regions; noise shows either one blob
+    (low tau) or many specks (high tau).
+    """
+    qualifies = grid.corners_above(threshold) >= MIN_CORNERS_ABOVE
+    seen = np.zeros_like(qualifies, dtype=bool)
+    rows, cols = qualifies.shape
+    regions = 0
+    for si in range(rows):
+        for sj in range(cols):
+            if qualifies[si, sj] and not seen[si, sj]:
+                regions += 1
+                queue: deque[tuple[int, int]] = deque([(si, sj)])
+                seen[si, sj] = True
+                while queue:
+                    i, j = queue.popleft()
+                    for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+                        if 0 <= ni < rows and 0 <= nj < cols:
+                            if qualifies[ni, nj] and not seen[ni, nj]:
+                                seen[ni, nj] = True
+                                queue.append((ni, nj))
+    return regions

@@ -1,0 +1,218 @@
+"""The ``p x p`` density grid of Fig. 5 and its elementary rectangles.
+
+The paper evaluates the kernel density at ``p^2`` grid points
+``z_1 ... z_{p^2}`` and reasons about *elementary rectangles* — the
+``(p-1)^2`` cells whose corners are adjacent grid points.  Definition
+2.2 then builds the region ``R(tau, Q)`` out of those rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.density.kde import KernelDensityEstimator
+from repro.exceptions import ConfigurationError, DimensionalityError
+
+
+@dataclass(frozen=True)
+class GridBounds:
+    """Axis-aligned bounding box of a 2-D grid."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Whether a 2-D point lies inside (inclusive) the box."""
+        x, y = float(point[0]), float(point[1])
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+
+class DensityGrid:
+    """Kernel density evaluated on a ``p x p`` grid over 2-D points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` projected data points.
+    resolution:
+        Number of grid points per axis (the paper's ``p``).
+    estimator:
+        Optional pre-built KDE; by default one is fit to *points* with a
+        Gaussian kernel and Silverman bandwidths.
+    padding:
+        Fraction of the data span added on each side, so density mass
+        near the hull boundary is not clipped.
+    include:
+        Optional extra points (e.g. the query) that the grid bounds must
+        cover even if they fall outside the data's bounding box.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        *,
+        resolution: int = 40,
+        estimator: KernelDensityEstimator | None = None,
+        padding: float = 0.05,
+        include: np.ndarray | None = None,
+    ) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise DimensionalityError("DensityGrid requires (n, 2) points")
+        if resolution < 2:
+            raise ConfigurationError("resolution must be at least 2")
+        self._points = pts
+        self._resolution = resolution
+        self._estimator = estimator or KernelDensityEstimator(pts)
+
+        cover = pts
+        if include is not None:
+            extra = np.asarray(include, dtype=float)
+            if extra.ndim == 1:
+                extra = extra[np.newaxis, :]
+            cover = np.vstack([pts, extra])
+        lo = cover.min(axis=0)
+        hi = cover.max(axis=0)
+        span = np.maximum(hi - lo, 1e-12)
+        lo = lo - padding * span
+        hi = hi + padding * span
+        self._bounds = GridBounds(lo[0], hi[0], lo[1], hi[1])
+        self._grid_x = np.linspace(lo[0], hi[0], resolution)
+        self._grid_y = np.linspace(lo[1], hi[1], resolution)
+        self._density = self._estimator.evaluate_on_grid(self._grid_x, self._grid_y)
+
+    # ------------------------------------------------------------------
+    @property
+    def resolution(self) -> int:
+        """Grid points per axis (``p``)."""
+        return self._resolution
+
+    @property
+    def bounds(self) -> GridBounds:
+        """Bounding box covered by the grid."""
+        return self._bounds
+
+    @property
+    def grid_x(self) -> np.ndarray:
+        """X coordinates of grid points, ascending."""
+        return self._grid_x
+
+    @property
+    def grid_y(self) -> np.ndarray:
+        """Y coordinates of grid points, ascending."""
+        return self._grid_y
+
+    @property
+    def density(self) -> np.ndarray:
+        """``(p, p)`` density values; ``density[i, j]`` at ``(x_i, y_j)``."""
+        return self._density
+
+    @property
+    def estimator(self) -> KernelDensityEstimator:
+        """The underlying kernel density estimator."""
+        return self._estimator
+
+    @property
+    def cell_count(self) -> int:
+        """Number of elementary rectangles, ``(p-1)^2``."""
+        return (self._resolution - 1) ** 2
+
+    # ------------------------------------------------------------------
+    def cell_of(self, point: np.ndarray) -> tuple[int, int]:
+        """Elementary rectangle ``(i, j)`` containing a 2-D *point*.
+
+        Cell ``(i, j)`` spans ``[grid_x[i], grid_x[i+1]] x
+        [grid_y[j], grid_y[j+1]]``.  Points outside the grid are clamped
+        to the nearest boundary cell.
+        """
+        p = np.asarray(point, dtype=float)
+        if p.shape != (2,):
+            raise DimensionalityError("point must be a 2-vector")
+        i = int(np.searchsorted(self._grid_x, p[0], side="right")) - 1
+        j = int(np.searchsorted(self._grid_y, p[1], side="right")) - 1
+        i = min(max(i, 0), self._resolution - 2)
+        j = min(max(j, 0), self._resolution - 2)
+        return i, j
+
+    def cells_of(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of`: ``(n, 2)`` integer cell indices."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise DimensionalityError("points must be (n, 2)")
+        i = np.searchsorted(self._grid_x, pts[:, 0], side="right") - 1
+        j = np.searchsorted(self._grid_y, pts[:, 1], side="right") - 1
+        i = np.clip(i, 0, self._resolution - 2)
+        j = np.clip(j, 0, self._resolution - 2)
+        return np.column_stack([i, j])
+
+    def corner_densities(self, i: int, j: int) -> np.ndarray:
+        """Densities at the four corners of elementary rectangle ``(i, j)``."""
+        if not (0 <= i < self._resolution - 1 and 0 <= j < self._resolution - 1):
+            raise ConfigurationError(f"cell ({i}, {j}) out of range")
+        d = self._density
+        return np.array([d[i, j], d[i + 1, j], d[i, j + 1], d[i + 1, j + 1]])
+
+    def corners_above(self, threshold: float) -> np.ndarray:
+        """Per-cell count of corners with density above *threshold*.
+
+        Returns a ``(p-1, p-1)`` integer array — the quantity Definition
+        2.2 compares against 3.
+        """
+        above = self._density > threshold
+        return (
+            above[:-1, :-1].astype(int)
+            + above[1:, :-1]
+            + above[:-1, 1:]
+            + above[1:, 1:]
+        )
+
+    def density_at(self, points: np.ndarray) -> np.ndarray:
+        """Exact KDE density at arbitrary 2-D *points* (not interpolated)."""
+        return self._estimator.evaluate(np.asarray(points, dtype=float))
+
+    def interpolate(self, points: np.ndarray) -> np.ndarray:
+        """Bilinear interpolation of the grid density at *points*.
+
+        Cheaper than :meth:`density_at` and sufficient for membership
+        tests; points outside the grid are clamped to the boundary.
+        """
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[np.newaxis, :]
+        x = np.clip(pts[:, 0], self._bounds.x_min, self._bounds.x_max)
+        y = np.clip(pts[:, 1], self._bounds.y_min, self._bounds.y_max)
+        i = np.clip(
+            np.searchsorted(self._grid_x, x, side="right") - 1,
+            0,
+            self._resolution - 2,
+        )
+        j = np.clip(
+            np.searchsorted(self._grid_y, y, side="right") - 1,
+            0,
+            self._resolution - 2,
+        )
+        x0, x1 = self._grid_x[i], self._grid_x[i + 1]
+        y0, y1 = self._grid_y[j], self._grid_y[j + 1]
+        tx = np.where(x1 > x0, (x - x0) / (x1 - x0), 0.0)
+        ty = np.where(y1 > y0, (y - y0) / (y1 - y0), 0.0)
+        d = self._density
+        val = (
+            d[i, j] * (1 - tx) * (1 - ty)
+            + d[i + 1, j] * tx * (1 - ty)
+            + d[i, j + 1] * (1 - tx) * ty
+            + d[i + 1, j + 1] * tx * ty
+        )
+        return float(val[0]) if single else val

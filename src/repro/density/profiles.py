@@ -1,0 +1,192 @@
+"""Visual profiles — the artifacts shown to the user (paper Fig. 5).
+
+A :class:`VisualProfile` packages everything a user (human or simulated)
+needs to judge one 2-D projection: the density grid, the query's
+location and density, and summary statistics that quantify how well the
+query sits on a distinct peak.  A :class:`LateralDensityPlot` is the
+paper's alternative scatter-of-fictitious-points view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.density.connectivity import connected_region, points_in_region
+from repro.density.grid import DensityGrid
+from repro.exceptions import DimensionalityError
+
+
+@dataclass(frozen=True)
+class ProfileStatistics:
+    """Summary statistics of a projection's density profile.
+
+    These quantify what a human reads off the surface plot:
+
+    * ``query_density`` — density at the query point.
+    * ``peak_density`` — maximum grid density.
+    * ``median_density`` / ``mean_density`` — background level.
+    * ``query_percentile`` — fraction of grid density values below the
+      query's density.  Near 1.0 means the query sits on a peak
+      (Fig. 9a); near 0 means it sits in a sparse region (Fig. 9b).
+    * ``peak_to_median`` — peak sharpness; ~1 for uniform noise
+      (Fig. 12), large for crisp clusters.
+    * ``mean_point_density`` — average density at the *data points*
+      (not grid nodes): the density a typical point experiences.  The
+      ratio ``query_density / mean_point_density`` is the query's local
+      contrast — near 1-2 for unclustered data of any shape, large when
+      the query sits in a genuine cluster.
+    """
+
+    query_density: float
+    peak_density: float
+    median_density: float
+    mean_density: float
+    query_percentile: float
+    peak_to_median: float
+    mean_point_density: float
+
+    @property
+    def local_contrast(self) -> float:
+        """``query_density / mean_point_density`` (see class docs)."""
+        if self.mean_point_density <= 0:
+            return float("inf") if self.query_density > 0 else 0.0
+        return self.query_density / self.mean_point_density
+
+
+@dataclass(frozen=True)
+class VisualProfile:
+    """One density view of a 2-D projection, as presented to the user.
+
+    Attributes
+    ----------
+    grid:
+        The underlying density grid.
+    query_2d:
+        Query coordinates in the projection.
+    statistics:
+        Precomputed :class:`ProfileStatistics`.
+    """
+
+    grid: DensityGrid
+    query_2d: np.ndarray
+    statistics: ProfileStatistics = field(hash=False)
+
+    @classmethod
+    def build(
+        cls,
+        projected_points: np.ndarray,
+        query_2d: np.ndarray,
+        *,
+        resolution: int = 40,
+        bandwidth_scale: float = 1.0,
+    ) -> "VisualProfile":
+        """Fit a density grid over the projected points and summarize it.
+
+        Parameters
+        ----------
+        projected_points, query_2d:
+            The 2-D projection's points and query coordinates.
+        resolution:
+            Grid points per axis (the paper's ``p``).
+        bandwidth_scale:
+            Multiplier on the Silverman bandwidths.  Silverman's rule
+            assumes unimodal data and over-smooths the multimodal
+            projections this system lives on; values below 1 sharpen
+            cluster boundaries.
+        """
+        q = np.asarray(query_2d, dtype=float)
+        if q.shape != (2,):
+            raise DimensionalityError("query_2d must be a 2-vector")
+        pts = np.asarray(projected_points, dtype=float)
+        estimator = None
+        if bandwidth_scale != 1.0:
+            from repro.density.bandwidth import silverman_bandwidth
+            from repro.density.kde import KernelDensityEstimator
+
+            estimator = KernelDensityEstimator(
+                pts, bandwidth=bandwidth_scale * silverman_bandwidth(pts)
+            )
+        grid = DensityGrid(pts, resolution=resolution, include=q, estimator=estimator)
+        stats = compute_profile_statistics(grid, q, points=pts)
+        return cls(grid=grid, query_2d=q, statistics=stats)
+
+    def query_cluster_indices(
+        self, projected_points: np.ndarray, threshold: float
+    ) -> np.ndarray:
+        """Indices of points density-connected to the query at *threshold*."""
+        region = connected_region(self.grid, self.query_2d, threshold)
+        member = points_in_region(self.grid, region, projected_points)
+        return np.flatnonzero(member)
+
+    def cluster_size_curve(
+        self, projected_points: np.ndarray, thresholds: np.ndarray
+    ) -> np.ndarray:
+        """Query-cluster size as a function of noise threshold.
+
+        Monotonically non-increasing in the threshold; used by simulated
+        users to pick a knee and by diagnostics to characterize views.
+        """
+        sizes = np.empty(len(thresholds), dtype=int)
+        for pos, tau in enumerate(thresholds):
+            sizes[pos] = self.query_cluster_indices(projected_points, tau).size
+        return sizes
+
+
+def compute_profile_statistics(
+    grid: DensityGrid,
+    query_2d: np.ndarray,
+    *,
+    points: np.ndarray | None = None,
+) -> ProfileStatistics:
+    """Summarize a density grid relative to the query's position.
+
+    When *points* (the projected data) is given, ``mean_point_density``
+    is the mean interpolated density at those points; otherwise the
+    grid mean is used as a fallback.
+    """
+    density = grid.density
+    query_density = float(grid.density_at(np.asarray(query_2d)[np.newaxis, :])[0])
+    flat = density.ravel()
+    peak = float(flat.max())
+    median = float(np.median(flat))
+    mean = float(flat.mean())
+    percentile = float(np.mean(flat < query_density))
+    peak_to_median = peak / median if median > 0 else float("inf")
+    if points is not None:
+        mean_point_density = float(np.mean(grid.interpolate(points)))
+    else:
+        mean_point_density = mean
+    return ProfileStatistics(
+        query_density=query_density,
+        peak_density=peak,
+        median_density=median,
+        mean_density=mean,
+        query_percentile=percentile,
+        peak_to_median=peak_to_median,
+        mean_point_density=mean_point_density,
+    )
+
+
+@dataclass(frozen=True)
+class LateralDensityPlot:
+    """Scatter of fictitious points sampled in proportion to density.
+
+    The paper's Figures 1(a)-(c) are lateral plots of 500 such points.
+    """
+
+    samples: np.ndarray
+    query_2d: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        profile: VisualProfile,
+        rng: np.random.Generator,
+        *,
+        count: int = 500,
+    ) -> "LateralDensityPlot":
+        """Draw *count* fictitious points from the profile's estimator."""
+        samples = profile.grid.estimator.sample_lateral(count, rng)
+        return cls(samples=samples, query_2d=profile.query_2d)

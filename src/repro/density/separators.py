@@ -1,0 +1,111 @@
+"""Separators — the instruments users wield to carve out query clusters.
+
+The paper offers two mechanisms (§2.2):
+
+* a **density separator**: a horizontal plane at height ``tau`` cutting
+  the density surface; the query cluster is the density-connected
+  region containing ``Q`` (the ``(tau, Q)``-contour);
+* a **polygonal separator**: on a lateral scatter plot, the user draws
+  separating lines (hyperplanes); the query cluster is the set of
+  points in the same polygonal region as ``Q``.
+
+Both produce the same thing — a membership mask over projected points —
+so both implement :class:`Separator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.density.connectivity import connected_region, points_in_region
+from repro.density.grid import DensityGrid
+from repro.exceptions import ConfigurationError, DimensionalityError
+
+
+class Separator(Protocol):
+    """Anything that can split projected points into cluster / rest."""
+
+    def select(
+        self, grid: DensityGrid, query_2d: np.ndarray, points_2d: np.ndarray
+    ) -> np.ndarray:
+        """Boolean mask over *points_2d*: True = inside the query cluster."""
+        ...
+
+
+@dataclass(frozen=True)
+class DensitySeparator:
+    """Horizontal density plane at noise threshold ``tau`` (Fig. 6, 9a)."""
+
+    threshold: float
+
+    def select(
+        self, grid: DensityGrid, query_2d: np.ndarray, points_2d: np.ndarray
+    ) -> np.ndarray:
+        region = connected_region(grid, np.asarray(query_2d), self.threshold)
+        return points_in_region(grid, region, points_2d)
+
+
+@dataclass(frozen=True)
+class PolygonalSeparator:
+    """Separating lines dividing the plane into polygonal regions.
+
+    Each line is ``(normal, offset)`` with the half-plane test
+    ``normal . x >= offset``.  Two points share a region iff they fall
+    on the same side of *every* line; the query cluster is whatever
+    region contains the query.
+    """
+
+    lines: tuple[tuple[tuple[float, float], float], ...]
+
+    @classmethod
+    def from_lines(
+        cls, lines: Sequence[tuple[Sequence[float], float]]
+    ) -> "PolygonalSeparator":
+        """Build from ``[(normal_2d, offset), ...]`` with validation."""
+        normalized = []
+        for normal, offset in lines:
+            n = np.asarray(normal, dtype=float)
+            if n.shape != (2,):
+                raise DimensionalityError("each line normal must be a 2-vector")
+            norm = np.linalg.norm(n)
+            if norm == 0:
+                raise ConfigurationError("line normal must be nonzero")
+            normalized.append(((float(n[0] / norm), float(n[1] / norm)), float(offset / norm)))
+        return cls(lines=tuple(normalized))
+
+    def _signature(self, points: np.ndarray) -> np.ndarray:
+        """Side-of-line bit pattern for each point: ``(n, n_lines)`` bools."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[np.newaxis, :]
+        sides = np.empty((pts.shape[0], len(self.lines)), dtype=bool)
+        for k, (normal, offset) in enumerate(self.lines):
+            sides[:, k] = pts @ np.asarray(normal) >= offset
+        return sides
+
+    def select(
+        self, grid: DensityGrid, query_2d: np.ndarray, points_2d: np.ndarray
+    ) -> np.ndarray:
+        if not self.lines:
+            return np.ones(np.asarray(points_2d).shape[0], dtype=bool)
+        query_sig = self._signature(np.asarray(query_2d))[0]
+        point_sig = self._signature(points_2d)
+        return np.all(point_sig == query_sig, axis=1)
+
+
+@dataclass(frozen=True)
+class RejectView:
+    """The user's "ignore this projection" decision.
+
+    The paper realizes it as "an arbitrarily high value of the noise
+    threshold"; we make the intent explicit with a separator selecting
+    nothing.
+    """
+
+    def select(
+        self, grid: DensityGrid, query_2d: np.ndarray, points_2d: np.ndarray
+    ) -> np.ndarray:
+        return np.zeros(np.asarray(points_2d).shape[0], dtype=bool)

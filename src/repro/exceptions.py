@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionalityError(ReproError):
+    """An array has the wrong shape or dimensionality for an operation."""
+
+
+class SubspaceError(ReproError):
+    """A subspace operation is invalid (rank deficiency, mismatch, ...)."""
+
+
+class EmptyDatasetError(ReproError):
+    """An operation requires a non-empty data set."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class InteractionError(ReproError):
+    """A user agent produced an invalid decision."""
+
+
+class ConvergenceError(ReproError):
+    """The interactive search failed to converge within its budget."""

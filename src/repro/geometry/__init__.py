@@ -1,0 +1,52 @@
+"""Linear-algebra substrate: subspaces, PCA, distances, random rotations."""
+
+from repro.geometry.distances import (
+    chebyshev_distance,
+    euclidean_distance,
+    fractional_distance,
+    get_metric,
+    k_smallest_indices,
+    manhattan_distance,
+    minkowski_distance,
+    nearest_neighbors,
+    projected_distance,
+    projected_distances_to_query,
+)
+from repro.geometry.pca import (
+    PCAResult,
+    axis_discrimination_ratios,
+    covariance_matrix,
+    discrimination_ratios,
+    principal_components,
+    variance_along_directions,
+)
+from repro.geometry.random_rotation import (
+    random_orthogonal_matrix,
+    random_orthogonal_pair_sequence,
+    random_subspace,
+)
+from repro.geometry.subspace import Subspace, orthonormalize
+
+__all__ = [
+    "Subspace",
+    "orthonormalize",
+    "PCAResult",
+    "covariance_matrix",
+    "principal_components",
+    "variance_along_directions",
+    "discrimination_ratios",
+    "axis_discrimination_ratios",
+    "euclidean_distance",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "minkowski_distance",
+    "fractional_distance",
+    "get_metric",
+    "projected_distance",
+    "projected_distances_to_query",
+    "nearest_neighbors",
+    "k_smallest_indices",
+    "random_orthogonal_matrix",
+    "random_subspace",
+    "random_orthogonal_pair_sequence",
+]

@@ -1,0 +1,61 @@
+"""Random orthogonal matrices and random subspaces.
+
+Used in two places:
+
+* the Case-2 synthetic generator embeds projected clusters in
+  *arbitrarily oriented* subspaces, which are drawn Haar-uniformly;
+* the ablation benchmarks compare the paper's graded subspace
+  determination against picking random orthogonal 2-D views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+from repro.geometry.subspace import Subspace
+
+
+def random_orthogonal_matrix(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a ``dim x dim`` orthogonal matrix Haar-uniformly.
+
+    Implementation: QR of a Gaussian matrix with the sign correction of
+    Mezzadri (2007) so the distribution is exactly Haar rather than
+    biased by LAPACK's sign convention.
+    """
+    if dim <= 0:
+        raise DimensionalityError("dim must be positive")
+    gaussian = rng.standard_normal((dim, dim))
+    q, r = np.linalg.qr(gaussian)
+    # Normalize so the diagonal of R is positive.
+    signs = np.sign(np.diag(r))
+    signs[signs == 0] = 1.0
+    return q * signs
+
+
+def random_subspace(
+    ambient_dim: int, dim: int, rng: np.random.Generator
+) -> Subspace:
+    """A Haar-random *dim*-dimensional subspace of ``R^ambient_dim``."""
+    if not 0 < dim <= ambient_dim:
+        raise DimensionalityError(
+            f"need 0 < dim <= ambient_dim, got dim={dim}, ambient={ambient_dim}"
+        )
+    rotation = random_orthogonal_matrix(ambient_dim, rng)
+    return Subspace(rotation[:dim])
+
+
+def random_orthogonal_pair_sequence(
+    ambient_dim: int, rng: np.random.Generator
+) -> list[Subspace]:
+    """Split ``R^d`` into ``floor(d/2)`` random mutually orthogonal planes.
+
+    Mirrors the structure of one major iteration of the paper's search
+    (d/2 mutually orthogonal 2-D projections) but with no data-driven
+    grading — the random baseline for the ablation study.
+    """
+    rotation = random_orthogonal_matrix(ambient_dim, rng)
+    planes = []
+    for start in range(0, ambient_dim - 1, 2):
+        planes.append(Subspace(rotation[start : start + 2]))
+    return planes

@@ -1,0 +1,304 @@
+"""Linear subspaces of the ambient data space.
+
+The paper manipulates subspaces constantly: the *current* subspace
+``E_c`` from which the next projection is drawn, the 2-D projection
+subspace ``E_proj`` shown to the user, and the complementary subspace
+``E_new = E_c - E_proj`` used in the following minor iteration.  This
+module provides a small, exact algebra for those operations.
+
+A :class:`Subspace` is represented by an orthonormal basis stored as the
+*rows* of an ``(l, d)`` matrix, where ``l`` is the subspace dimension and
+``d`` the ambient dimension.  Projection of a point ``y`` onto the
+subspace is the coordinate vector ``(y . e_1, ..., y . e_l)`` exactly as
+in the paper's ``Proj(y, E)`` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError, SubspaceError
+
+#: Relative tolerance used when checking orthonormality and rank.
+_RANK_TOL = 1e-10
+
+
+def _as_2d_float(basis: np.ndarray | Iterable[Iterable[float]]) -> np.ndarray:
+    """Coerce *basis* to a 2-D float array of shape ``(l, d)``."""
+    arr = np.asarray(basis, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise DimensionalityError(
+            f"basis must be a 2-D array of row vectors, got ndim={arr.ndim}"
+        )
+    return arr
+
+
+def orthonormalize(vectors: np.ndarray, *, tol: float = _RANK_TOL) -> np.ndarray:
+    """Return an orthonormal basis spanning the rows of *vectors*.
+
+    Uses a rank-revealing QR factorization; rows that are linearly
+    dependent (within *tol* relative to the largest singular direction)
+    are dropped, so the result may have fewer rows than the input.
+
+    Parameters
+    ----------
+    vectors:
+        ``(m, d)`` array whose rows span the desired subspace.
+    tol:
+        Relative tolerance below which an R-diagonal entry counts as zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(l, d)`` orthonormal row basis with ``l <= m``.
+    """
+    vectors = _as_2d_float(vectors)
+    if vectors.shape[0] == 0:
+        return vectors.reshape(0, vectors.shape[1])
+    # QR on the transpose: columns are the vectors.
+    q, r = np.linalg.qr(vectors.T)
+    signed = np.diag(r)
+    diag = np.abs(signed)
+    if diag.size == 0:
+        return np.zeros((0, vectors.shape[1]))
+    # Stabilize signs so already-orthonormal input passes through
+    # unchanged (LAPACK's sign convention is otherwise arbitrary).
+    signs = np.sign(signed)
+    signs[signs == 0] = 1.0
+    q = q * signs
+    keep = diag > tol * max(diag.max(), 1.0)
+    return q.T[keep]
+
+
+class Subspace:
+    """An ``l``-dimensional linear subspace of ``R^d``.
+
+    Instances are immutable.  The basis is orthonormalized at
+    construction time, so all downstream operations (projection,
+    complement, direct sum) can assume exact orthonormality up to float
+    tolerance.
+
+    Parameters
+    ----------
+    basis:
+        ``(l, d)`` array whose rows span the subspace.  Rows need not be
+        orthonormal; redundant rows raise :class:`SubspaceError` unless
+        ``allow_dependent=True``, in which case they are silently dropped.
+    allow_dependent:
+        When true, linearly dependent input rows are dropped instead of
+        raising.
+    """
+
+    __slots__ = ("_basis",)
+
+    def __init__(
+        self,
+        basis: np.ndarray | Iterable[Iterable[float]],
+        *,
+        allow_dependent: bool = False,
+    ) -> None:
+        raw = _as_2d_float(basis)
+        ortho = orthonormalize(raw)
+        if ortho.shape[0] != raw.shape[0] and not allow_dependent:
+            raise SubspaceError(
+                f"basis rows are linearly dependent: rank {ortho.shape[0]} "
+                f"< {raw.shape[0]} rows"
+            )
+        self._basis = ortho
+        self._basis.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def full(cls, ambient_dim: int) -> "Subspace":
+        """The universal space ``U = R^d`` (paper notation)."""
+        if ambient_dim <= 0:
+            raise DimensionalityError("ambient_dim must be positive")
+        return cls(np.eye(ambient_dim))
+
+    @classmethod
+    def from_axes(cls, axes: Iterable[int], ambient_dim: int) -> "Subspace":
+        """Axis-parallel subspace spanned by the given attribute indices."""
+        axes = list(axes)
+        if len(set(axes)) != len(axes):
+            raise SubspaceError(f"duplicate axes in {axes}")
+        basis = np.zeros((len(axes), ambient_dim))
+        for row, axis in enumerate(axes):
+            if not 0 <= axis < ambient_dim:
+                raise DimensionalityError(
+                    f"axis {axis} out of range for ambient_dim={ambient_dim}"
+                )
+            basis[row, axis] = 1.0
+        return cls(basis)
+
+    @classmethod
+    def empty(cls, ambient_dim: int) -> "Subspace":
+        """The zero-dimensional subspace of ``R^d``."""
+        return cls(np.zeros((0, ambient_dim)))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def basis(self) -> np.ndarray:
+        """Read-only ``(l, d)`` orthonormal row basis."""
+        return self._basis
+
+    @property
+    def dim(self) -> int:
+        """The subspace dimension ``l``."""
+        return self._basis.shape[0]
+
+    @property
+    def ambient_dim(self) -> int:
+        """The ambient dimension ``d``."""
+        return self._basis.shape[1]
+
+    def __len__(self) -> int:  # paper writes |E| for the dimension
+        return self.dim
+
+    def __repr__(self) -> str:
+        return f"Subspace(dim={self.dim}, ambient_dim={self.ambient_dim})"
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Coordinates of *points* in this subspace — ``Proj(y, E)``.
+
+        Parameters
+        ----------
+        points:
+            ``(n, d)`` array of row points, or a single ``(d,)`` point.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n, l)`` coordinate array (or ``(l,)`` for a single point).
+        """
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[np.newaxis, :]
+        if pts.shape[1] != self.ambient_dim:
+            raise DimensionalityError(
+                f"points have dimension {pts.shape[1]}, "
+                f"subspace ambient is {self.ambient_dim}"
+            )
+        coords = pts @ self._basis.T
+        return coords[0] if single else coords
+
+    def embed(self, coords: np.ndarray) -> np.ndarray:
+        """Map subspace coordinates back into the ambient space.
+
+        The inverse of :meth:`project` restricted to the subspace:
+        ``embed(project(y))`` is the orthogonal projection of ``y`` onto
+        the subspace expressed as an ambient ``d``-vector.
+        """
+        c = np.asarray(coords, dtype=float)
+        single = c.ndim == 1
+        if single:
+            c = c[np.newaxis, :]
+        if c.shape[1] != self.dim:
+            raise DimensionalityError(
+                f"coords have dimension {c.shape[1]}, subspace dim is {self.dim}"
+            )
+        ambient = c @ self._basis
+        return ambient[0] if single else ambient
+
+    def complement_within(self, outer: "Subspace") -> "Subspace":
+        """Orthogonal complement of this subspace inside *outer*.
+
+        This is the paper's ``E_new = E_c - E_p`` operation (Fig. 3): the
+        subspace of *outer* orthogonal to every vector of ``self``.  The
+        result has dimension ``outer.dim - self.dim``.
+
+        Raises
+        ------
+        SubspaceError
+            If ``self`` is not contained in *outer* (within tolerance).
+        """
+        if outer.ambient_dim != self.ambient_dim:
+            raise SubspaceError("ambient dimensions differ")
+        if not self.is_contained_in(outer):
+            raise SubspaceError("subspace is not contained in the outer space")
+        # Coordinates of self's basis inside outer.
+        inner_coords = self._basis @ outer.basis.T  # (l_self, l_outer)
+        # Null space of inner_coords within outer's coordinate space.
+        if self.dim == 0:
+            return outer
+        u, s, vt = np.linalg.svd(inner_coords)
+        rank = int(np.sum(s > _RANK_TOL * max(s.max(), 1.0))) if s.size else 0
+        null_coords = vt[rank:]  # (l_outer - rank, l_outer)
+        ambient_basis = null_coords @ outer.basis
+        return Subspace(ambient_basis, allow_dependent=True)
+
+    def complement(self) -> "Subspace":
+        """Orthogonal complement within the full ambient space."""
+        return self.complement_within(Subspace.full(self.ambient_dim))
+
+    def direct_sum(self, other: "Subspace") -> "Subspace":
+        """Direct sum of two subspaces of the same ambient space.
+
+        The inputs need not be orthogonal to each other; overlapping
+        directions are merged.
+        """
+        if other.ambient_dim != self.ambient_dim:
+            raise SubspaceError("ambient dimensions differ")
+        stacked = np.vstack([self._basis, other.basis])
+        return Subspace(orthonormalize(stacked), allow_dependent=True)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def is_contained_in(self, outer: "Subspace", *, tol: float = 1e-8) -> bool:
+        """True when every basis vector of ``self`` lies in *outer*."""
+        if outer.ambient_dim != self.ambient_dim:
+            return False
+        if self.dim == 0:
+            return True
+        reconstructed = (self._basis @ outer.basis.T) @ outer.basis
+        return bool(np.allclose(reconstructed, self._basis, atol=tol))
+
+    def is_orthogonal_to(self, other: "Subspace", *, tol: float = 1e-8) -> bool:
+        """True when the two subspaces are mutually orthogonal."""
+        if other.ambient_dim != self.ambient_dim:
+            return False
+        if self.dim == 0 or other.dim == 0:
+            return True
+        gram = self._basis @ other.basis.T
+        return bool(np.max(np.abs(gram)) < tol)
+
+    def contains_vector(self, vector: np.ndarray, *, tol: float = 1e-8) -> bool:
+        """True when *vector* lies in the subspace (within tolerance)."""
+        v = np.asarray(vector, dtype=float)
+        if v.shape != (self.ambient_dim,):
+            raise DimensionalityError(
+                f"vector must have shape ({self.ambient_dim},), got {v.shape}"
+            )
+        norm = np.linalg.norm(v)
+        if norm < tol:
+            return True
+        reconstructed = (v @ self._basis.T) @ self._basis
+        return bool(np.linalg.norm(reconstructed - v) <= tol * max(norm, 1.0))
+
+    def is_axis_parallel(self, *, tol: float = 1e-8) -> bool:
+        """True when the subspace is spanned by coordinate axes.
+
+        A subspace is axis-parallel when its projection matrix is a
+        0/1 diagonal matrix, i.e. each ambient axis is either entirely
+        inside or entirely orthogonal to the subspace.
+        """
+        if self.dim == 0:
+            return True
+        proj = self._basis.T @ self._basis  # (d, d) projection matrix
+        off_diag = proj - np.diag(np.diag(proj))
+        if np.max(np.abs(off_diag)) > tol:
+            return False
+        diag = np.diag(proj)
+        return bool(np.all((np.abs(diag) < tol) | (np.abs(diag - 1.0) < tol)))

@@ -1,0 +1,110 @@
+"""Deterministic user agents for tests and programmatic control.
+
+* :class:`ScriptedUser` replays a fixed sequence of decisions — used to
+  make search-core tests independent of any judgement logic.
+* :class:`FixedThresholdUser` applies one noise threshold to every view.
+* :class:`CallbackUser` delegates to an arbitrary callable, which is
+  how applications plug in custom policies (or real UI event loops).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.density.separators import DensitySeparator
+from repro.exceptions import InteractionError
+from repro.interaction.base import ProjectionView, UserDecision
+
+
+class ScriptedUser:
+    """Replays decisions from a queue; raises when the script runs out.
+
+    Each script entry is either a ``UserDecision`` used verbatim (its
+    mask is re-sized against the view if lengths differ — scripts
+    usually predate pruning), the string ``"reject"``, or a float noise
+    threshold applied through a density separator.
+    """
+
+    def __init__(self, script: Iterable[UserDecision | str | float]) -> None:
+        self._script = list(script)
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of unconsumed script entries."""
+        return len(self._script) - self._cursor
+
+    def review_view(self, view: ProjectionView) -> UserDecision:
+        if self._cursor >= len(self._script):
+            raise InteractionError("scripted user ran out of decisions")
+        entry = self._script[self._cursor]
+        self._cursor += 1
+        if isinstance(entry, UserDecision):
+            if entry.selected_mask.shape == (view.n_points,):
+                return entry
+            raise InteractionError(
+                f"scripted mask length {entry.selected_mask.shape[0]} does not "
+                f"match view with {view.n_points} points"
+            )
+        if isinstance(entry, str):
+            if entry == "reject":
+                return UserDecision.reject(view.n_points, note="scripted reject")
+            raise InteractionError(f"unknown script entry {entry!r}")
+        return _apply_threshold(view, float(entry), note="scripted threshold")
+
+
+class FixedThresholdUser:
+    """Applies the same density separator height to every view."""
+
+    def __init__(self, threshold: float) -> None:
+        self._threshold = float(threshold)
+
+    def review_view(self, view: ProjectionView) -> UserDecision:
+        return _apply_threshold(view, self._threshold, note="fixed threshold")
+
+
+class CallbackUser:
+    """Delegates each view to ``callback(view) -> UserDecision``."""
+
+    def __init__(
+        self, callback: Callable[[ProjectionView], UserDecision]
+    ) -> None:
+        self._callback = callback
+
+    def review_view(self, view: ProjectionView) -> UserDecision:
+        decision = self._callback(view)
+        if not isinstance(decision, UserDecision):
+            raise InteractionError(
+                f"callback returned {type(decision).__name__}, expected UserDecision"
+            )
+        return decision
+
+
+class AcceptEverythingUser:
+    """Selects every live point in every view (a degenerate control).
+
+    With every point picked in every projection, preference counts are
+    uniform and meaningfulness probabilities collapse toward zero —
+    useful for testing the statistical machinery's null behaviour.
+    """
+
+    def review_view(self, view: ProjectionView) -> UserDecision:
+        return UserDecision(
+            accepted=True,
+            selected_mask=np.ones(view.n_points, dtype=bool),
+            threshold=0.0,
+            note="accept everything",
+        )
+
+
+def _apply_threshold(view: ProjectionView, threshold: float, note: str) -> UserDecision:
+    """Apply a density separator at *threshold* to the view."""
+    separator = DensitySeparator(threshold)
+    mask = separator.select(view.profile.grid, view.query_2d, view.projected_points)
+    if not mask.any():
+        return UserDecision.reject(view.n_points, note=f"{note}: empty selection")
+    return UserDecision(
+        accepted=True, selected_mask=mask, threshold=threshold, note=note
+    )

@@ -1,0 +1,104 @@
+"""A real interactive terminal user.
+
+Renders each projection's density profile as ASCII art on stdout and
+reads a noise threshold (or rejection) from stdin, looping until the
+human confirms — the textual equivalent of the paper's Fig. 6
+``AdjustDensitySeparator`` loop.  Mainly exercised through the
+``examples/interactive_session.py`` demo; tests drive it with StringIO
+streams.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.density.separators import DensitySeparator
+from repro.interaction.base import ProjectionView, UserDecision
+from repro.viz.ascii import render_density_grid
+
+_HELP = (
+    "Commands: <number> = preview separator at that density; "
+    "ok = accept last preview; skip = reject view; help = this text."
+)
+
+
+class TerminalUser:
+    """Interactive stdin/stdout user agent.
+
+    Parameters
+    ----------
+    input_stream, output_stream:
+        Overridable streams (defaults: ``sys.stdin`` / ``sys.stdout``)
+        so the agent is scriptable in tests.
+    max_prompts:
+        Safety bound on the adjustment loop per view.
+    """
+
+    def __init__(
+        self,
+        *,
+        input_stream: IO[str] | None = None,
+        output_stream: IO[str] | None = None,
+        max_prompts: int = 50,
+    ) -> None:
+        self._in = input_stream if input_stream is not None else sys.stdin
+        self._out = output_stream if output_stream is not None else sys.stdout
+        self._max_prompts = max_prompts
+
+    def review_view(self, view: ProjectionView) -> UserDecision:
+        stats = view.profile.statistics
+        self._print(
+            f"\n=== Major {view.major_index + 1}, minor {view.minor_index + 1} "
+            f"({view.n_points} points) ==="
+        )
+        self._print(render_density_grid(view.profile.grid, query=view.query_2d))
+        self._print(
+            f"query density {stats.query_density:.4g} "
+            f"(percentile {stats.query_percentile:.2f}), "
+            f"peak {stats.peak_density:.4g}, median {stats.median_density:.4g}"
+        )
+        self._print(_HELP)
+
+        last_threshold: float | None = None
+        last_mask = None
+        for _ in range(self._max_prompts):
+            self._print("tau> ", end="")
+            line = self._in.readline()
+            if not line:
+                break
+            command = line.strip().lower()
+            if command in ("skip", "reject", "q"):
+                return UserDecision.reject(view.n_points, note="user skipped")
+            if command in ("help", "?"):
+                self._print(_HELP)
+                continue
+            if command == "ok":
+                if last_mask is None or not last_mask.any():
+                    self._print("nothing selected yet; enter a threshold first")
+                    continue
+                return UserDecision(
+                    accepted=True,
+                    selected_mask=last_mask,
+                    threshold=last_threshold,
+                    note="terminal user",
+                )
+            try:
+                tau = float(command)
+            except ValueError:
+                self._print(f"unrecognized input {command!r}; {_HELP}")
+                continue
+            separator = DensitySeparator(tau)
+            last_mask = separator.select(
+                view.profile.grid, view.query_2d, view.projected_points
+            )
+            last_threshold = tau
+            self._print(
+                f"separator at {tau:.4g} selects {int(last_mask.sum())} points "
+                f"(type 'ok' to confirm)"
+            )
+        return UserDecision.reject(view.n_points, note="input exhausted")
+
+    def _print(self, text: str, *, end: str = "\n") -> None:
+        self._out.write(text + end)
+        self._out.flush()

@@ -1,0 +1,19 @@
+"""Visualization: ASCII rendering and CSV export of figure content."""
+
+from repro.viz.ascii import render_density_grid, render_scatter, render_sorted_series
+from repro.viz.export import (
+    export_density_grid,
+    export_scatter,
+    export_series,
+    export_table,
+)
+
+__all__ = [
+    "render_density_grid",
+    "render_scatter",
+    "render_sorted_series",
+    "export_density_grid",
+    "export_scatter",
+    "export_series",
+    "export_table",
+]

@@ -1,0 +1,165 @@
+"""ASCII rendering of density surfaces and scatter plots.
+
+The paper shows MATLAB surface plots (Figs. 9-13) and scatter plots
+(Fig. 1).  Without a plotting backend, the bench harness and terminal
+user render the same content as character grids: density maps use a
+luminance ramp, scatter plots place glyphs on a character raster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.density.grid import DensityGrid
+from repro.exceptions import DimensionalityError
+
+#: Luminance ramp from empty to dense.
+_RAMP = " .:-=+*#%@"
+
+
+def render_density_grid(
+    grid: DensityGrid,
+    *,
+    query: np.ndarray | None = None,
+    threshold: float | None = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render a density grid as an ASCII heat map.
+
+    Parameters
+    ----------
+    grid:
+        The density grid to draw.
+    query:
+        Optional 2-D query point, marked ``Q``.
+    threshold:
+        Optional separator height; cells below it print as space, so
+        the ``(tau, Q)``-contour regions stand out.
+    width, height:
+        Output raster size in characters.
+    """
+    density = grid.density
+    peak = density.max()
+    lines = []
+    bounds = grid.bounds
+    q_cell = None
+    if query is not None:
+        q = np.asarray(query, dtype=float)
+        if q.shape != (2,):
+            raise DimensionalityError("query must be a 2-vector")
+        qx = (q[0] - bounds.x_min) / max(bounds.width, 1e-12)
+        qy = (q[1] - bounds.y_min) / max(bounds.height, 1e-12)
+        q_cell = (
+            min(int(qy * height), height - 1),
+            min(int(qx * width), width - 1),
+        )
+    # Raster rows run top (max y) to bottom (min y).
+    xs = np.linspace(bounds.x_min, bounds.x_max, width)
+    ys = np.linspace(bounds.y_max, bounds.y_min, height)
+    for row, y in enumerate(ys):
+        chars = []
+        pts = np.column_stack([xs, np.full(width, y)])
+        values = grid.interpolate(pts)
+        for col in range(width):
+            value = values[col]
+            if q_cell == (row, col):
+                chars.append("Q")
+                continue
+            if threshold is not None and value < threshold:
+                chars.append(" ")
+                continue
+            level = 0.0 if peak <= 0 else value / peak
+            chars.append(_RAMP[min(int(level * (len(_RAMP) - 1)), len(_RAMP) - 1)])
+        lines.append("".join(chars))
+    header = f"density 0..{peak:.4g}" + (
+        f", separator at {threshold:.4g}" if threshold is not None else ""
+    )
+    return header + "\n" + "\n".join(lines)
+
+
+def render_scatter(
+    points: np.ndarray,
+    *,
+    query: np.ndarray | None = None,
+    highlight: np.ndarray | None = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render a 2-D scatter plot as ASCII (the Fig. 1 lateral plots).
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` points drawn as ``.`` (or ``o`` where several land
+        in one character cell).
+    query:
+        Optional query point, drawn as ``Q``.
+    highlight:
+        Optional boolean mask over *points*; highlighted points draw
+        as ``*``.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise DimensionalityError("points must be (n, 2)")
+    cover = pts
+    if query is not None:
+        cover = np.vstack([pts, np.asarray(query, dtype=float)[np.newaxis, :]])
+    lo = cover.min(axis=0)
+    hi = cover.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+
+    raster = [[" "] * width for _ in range(height)]
+    counts = np.zeros((height, width), dtype=int)
+    mask = (
+        np.asarray(highlight, dtype=bool)
+        if highlight is not None
+        else np.zeros(pts.shape[0], dtype=bool)
+    )
+    for idx in range(pts.shape[0]):
+        col = min(int((pts[idx, 0] - lo[0]) / span[0] * (width - 1)), width - 1)
+        row = height - 1 - min(
+            int((pts[idx, 1] - lo[1]) / span[1] * (height - 1)), height - 1
+        )
+        counts[row, col] += 1
+        if mask[idx]:
+            raster[row][col] = "*"
+        elif raster[row][col] == " ":
+            raster[row][col] = "."
+        elif raster[row][col] == ".":
+            raster[row][col] = "o"
+    if query is not None:
+        q = np.asarray(query, dtype=float)
+        col = min(int((q[0] - lo[0]) / span[0] * (width - 1)), width - 1)
+        row = height - 1 - min(
+            int((q[1] - lo[1]) / span[1] * (height - 1)), height - 1
+        )
+        raster[row][col] = "Q"
+    return "\n".join("".join(row) for row in raster)
+
+
+def render_sorted_series(
+    values: np.ndarray,
+    *,
+    label: str = "value",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Bar-chart rendering of a descending-sorted series.
+
+    Used to show the "steep drop" in meaningfulness probabilities
+    (§4.1): sorted values are binned across the width and drawn as
+    vertical bars.
+    """
+    vals = np.sort(np.asarray(values, dtype=float))[::-1]
+    if vals.size == 0:
+        return f"{label}: (empty)"
+    peak = max(float(vals.max()), 1e-12)
+    bins = np.array_split(vals, min(width, vals.size))
+    heights = [int(round(float(b.mean()) / peak * height)) for b in bins]
+    lines = []
+    for level in range(height, 0, -1):
+        lines.append("".join("#" if h >= level else " " for h in heights))
+    lines.append("-" * len(heights))
+    header = f"{label}: max={vals.max():.3f} min={vals.min():.3f} n={vals.size}"
+    return header + "\n" + "\n".join(lines)

@@ -1,0 +1,92 @@
+"""CSV export of figure series.
+
+Every figure benchmark can persist its numeric content (density grids,
+scatter coordinates, sorted probability series) as CSV so the figures
+are regenerable with any plotting tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.density.grid import DensityGrid
+
+
+def export_density_grid(grid: DensityGrid, path: str | Path) -> Path:
+    """Write a density grid as long-format CSV: ``x, y, density``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y", "density"])
+        for i, x in enumerate(grid.grid_x):
+            for j, y in enumerate(grid.grid_y):
+                writer.writerow([f"{x:.8g}", f"{y:.8g}", f"{grid.density[i, j]:.8g}"])
+    return path
+
+
+def export_scatter(
+    points: np.ndarray,
+    path: str | Path,
+    *,
+    labels: np.ndarray | None = None,
+) -> Path:
+    """Write 2-D points (optionally labelled) as CSV."""
+    pts = np.asarray(points, dtype=float)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["x", "y"] + (["label"] if labels is not None else [])
+        writer.writerow(header)
+        for idx in range(pts.shape[0]):
+            row = [f"{pts[idx, 0]:.8g}", f"{pts[idx, 1]:.8g}"]
+            if labels is not None:
+                row.append(str(int(labels[idx])))
+            writer.writerow(row)
+    return path
+
+
+def export_series(
+    series: Mapping[str, Sequence[float]] | Mapping[str, np.ndarray],
+    path: str | Path,
+) -> Path:
+    """Write named equal-length series as CSV columns."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(series)
+    columns = [np.asarray(series[name], dtype=float) for name in names]
+    length = max((c.size for c in columns), default=0)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in range(length):
+            writer.writerow(
+                [f"{c[row]:.8g}" if row < c.size else "" for c in columns]
+            )
+    return path
+
+
+def export_table(
+    rows: Iterable[Mapping[str, object]],
+    path: str | Path,
+) -> Path:
+    """Write dict rows as CSV with the union of keys as header."""
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=header)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

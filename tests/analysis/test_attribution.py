@@ -1,0 +1,138 @@
+"""Unit tests for repro.analysis.attribution."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attribution import (
+    attribute_importance,
+    neighborhood_attribute_importance,
+)
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.core.session import SearchSession
+from repro.exceptions import DimensionalityError, EmptyDatasetError
+from repro.interaction.oracle import OracleUser
+
+FAST = SearchConfig(
+    support=15,
+    grid_resolution=30,
+    min_major_iterations=2,
+    max_major_iterations=2,
+    projection_restarts=2,
+    axis_parallel=True,
+)
+
+
+@pytest.fixture
+def oracle_run(small_clustered):
+    ds = small_clustered.dataset
+    qi = int(ds.cluster_indices(0)[0])
+    result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], OracleUser(ds, qi))
+    return small_clustered, result
+
+
+class TestSelectionMode:
+    def test_signal_axes_dominate(self, oracle_run):
+        """The user's selections are tight exactly along the true axes."""
+        data, result = oracle_run
+        ds = data.dataset
+        importance = attribute_importance(result.session, ds.points)
+        assert importance.mode == "selection"
+        assert importance.accepted_views > 0
+
+        truth = data.clusters[0]
+        signal_axes = {
+            int(np.flatnonzero(np.abs(row) > 1e-9)[0]) for row in truth.basis
+        }
+        top = {axis for axis, _ in importance.top_attributes(len(signal_axes))}
+        assert len(top & signal_axes) >= len(signal_axes) - 1
+
+    def test_signal_weights_exceed_noise_weights(self, oracle_run):
+        data, result = oracle_run
+        ds = data.dataset
+        importance = attribute_importance(result.session, ds.points)
+        truth = data.clusters[0]
+        signal_axes = [
+            int(np.flatnonzero(np.abs(row) > 1e-9)[0]) for row in truth.basis
+        ]
+        noise_axes = [a for a in range(ds.dim) if a not in signal_axes]
+        assert (
+            importance.weights[signal_axes].mean()
+            > 2 * importance.weights[noise_axes].mean()
+        )
+
+    def test_points_shape_check(self, oracle_run):
+        _, result = oracle_run
+        with pytest.raises(DimensionalityError):
+            attribute_importance(result.session, np.ones((5, 3)))
+
+
+class TestFootprintMode:
+    def test_runs_without_points(self, oracle_run):
+        _, result = oracle_run
+        importance = attribute_importance(result.session)
+        assert importance.mode == "footprint"
+        assert importance.weights.shape == (10,)
+        if importance.accepted_views:
+            # Each accepted axis-parallel view has footprint summing to 2.
+            assert importance.weights.sum() == pytest.approx(2.0, abs=1e-8)
+
+    def test_normalized(self, oracle_run):
+        _, result = oracle_run
+        importance = attribute_importance(result.session)
+        if importance.accepted_views:
+            assert importance.normalized().sum() == pytest.approx(1.0)
+
+
+class TestNeighborhoodMode:
+    def test_exact_cluster_recovers_signal_axes(self, small_clustered):
+        data = small_clustered
+        ds = data.dataset
+        members = ds.cluster_indices(0)
+        importance = neighborhood_attribute_importance(ds.points, members)
+        assert importance.mode == "neighborhood"
+        truth = data.clusters[0]
+        signal_axes = {
+            int(np.flatnonzero(np.abs(row) > 1e-9)[0]) for row in truth.basis
+        }
+        top = {a for a, _ in importance.top_attributes(len(signal_axes))}
+        assert top == signal_axes
+
+    def test_signal_weights_near_one(self, small_clustered):
+        data = small_clustered
+        ds = data.dataset
+        members = ds.cluster_indices(1)
+        importance = neighborhood_attribute_importance(ds.points, members)
+        truth = data.clusters[1]
+        signal_axes = [
+            int(np.flatnonzero(np.abs(row) > 1e-9)[0]) for row in truth.basis
+        ]
+        assert importance.weights[signal_axes].min() > 0.8
+
+    def test_requires_two_neighbors(self, small_clustered):
+        ds = small_clustered.dataset
+        with pytest.raises(EmptyDatasetError):
+            neighborhood_attribute_importance(ds.points, np.array([0]))
+
+    def test_points_shape(self):
+        with pytest.raises(DimensionalityError):
+            neighborhood_attribute_importance(np.ones(5), np.array([0, 1]))
+
+
+class TestEdges:
+    def test_empty_session_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            attribute_importance(SearchSession())
+
+    def test_no_accepted_views(self, small_clustered):
+        from repro.interaction.base import UserDecision
+        from repro.interaction.scripted import CallbackUser
+
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        reject = CallbackUser(lambda v: UserDecision.reject(v.n_points))
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], reject)
+        importance = attribute_importance(result.session, ds.points)
+        assert importance.accepted_views == 0
+        assert np.allclose(importance.weights, 0.0)
+        assert np.allclose(importance.normalized(), 0.0)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.analysis.classify and repro.analysis.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import (
+    classify_query_baseline,
+    classify_query_interactive,
+    compare_classification,
+    majority_label,
+)
+from repro.analysis.diagnostics import diagnose
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.interaction.oracle import OracleUser
+from repro.interaction.scripted import CallbackUser
+from repro.interaction.base import UserDecision
+
+
+FAST = SearchConfig(
+    support=15,
+    grid_resolution=30,
+    min_major_iterations=2,
+    max_major_iterations=3,
+    projection_restarts=2,
+)
+
+
+class TestMajorityLabel:
+    def test_simple(self):
+        assert majority_label(np.array([1, 1, 2])) == 1
+
+    def test_tie_breaks_to_smaller(self):
+        assert majority_label(np.array([2, 1])) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            majority_label(np.array([], dtype=int))
+
+
+class TestBaselineClassification:
+    def test_classifies(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        out = classify_query_baseline(ds, qi, 10)
+        assert out.true_label == ds.label_of(qi)
+        assert out.neighbors_used == 10
+
+    def test_requires_labels(self, rng):
+        ds = Dataset(points=rng.normal(size=(20, 3)))
+        with pytest.raises(ConfigurationError):
+            classify_query_baseline(ds, 0, 3)
+
+
+class TestInteractiveClassification:
+    def test_correct_on_easy_data(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        out, k = classify_query_interactive(
+            ds, qi, OracleUser(ds, qi), config=FAST
+        )
+        assert out.predicted_label == out.true_label
+        assert k == out.neighbors_used
+
+    def test_fallback_on_reject_all_user(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        reject_all = CallbackUser(lambda v: UserDecision.reject(v.n_points))
+        out, _ = classify_query_interactive(ds, qi, reject_all, config=FAST)
+        assert out.used_fallback
+
+    def test_requires_labels(self, rng):
+        ds = Dataset(points=rng.normal(size=(20, 3)))
+        with pytest.raises(ConfigurationError):
+            classify_query_interactive(ds, 0, CallbackUser(lambda v: None))
+
+
+class TestCompareClassification:
+    def test_full_protocol(self, small_clustered):
+        ds = small_clustered.dataset
+        queries = ds.cluster_indices(0)[:3]
+        cmp = compare_classification(
+            ds,
+            queries,
+            lambda d, qi: OracleUser(d, qi),
+            config=FAST,
+        )
+        assert len(cmp.baseline) == 3
+        assert len(cmp.interactive) == 3
+        assert 0.0 <= cmp.baseline_accuracy <= 1.0
+        assert cmp.interactive_accuracy >= 0.5
+
+    def test_empty_accuracy(self):
+        from repro.analysis.classify import ClassificationComparison
+
+        cmp = ClassificationComparison(baseline=(), interactive=())
+        assert cmp.baseline_accuracy == 0.0
+
+
+class TestDiagnostics:
+    def test_meaningful_on_clustered(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], OracleUser(ds, qi))
+        verdict = diagnose(result)
+        assert verdict.meaningful
+        assert verdict.acceptance_rate > 0.1
+        assert verdict.steep_drop.has_steep_drop
+        assert "natural cluster" in verdict.explanation
+
+    def test_meaningless_on_rejection(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        reject_all = CallbackUser(lambda v: UserDecision.reject(v.n_points))
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], reject_all)
+        verdict = diagnose(result)
+        assert not verdict.meaningful
+        assert verdict.acceptance_rate == 0.0
+        assert verdict.max_probability == 0.0
+        assert ";" in verdict.explanation or "no" in verdict.explanation

@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis.contrast."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contrast import (
+    contrast_report,
+    dimensionality_contrast_curve,
+    is_unstable_query,
+    mean_relative_contrast,
+)
+from repro.exceptions import EmptyDatasetError
+
+
+class TestContrastReport:
+    def test_basic_fields(self, rng):
+        points = rng.uniform(size=(200, 5))
+        report = contrast_report(points, points[0])
+        assert report.d_min > 0  # zero distance excluded
+        assert report.d_max >= report.d_min
+        assert report.relative_contrast >= 0
+        assert 0 <= report.epsilon_instability <= 1
+
+    def test_exclude_zero(self, rng):
+        points = np.vstack([np.zeros((1, 3)), rng.uniform(size=(10, 3))])
+        report = contrast_report(points, np.zeros(3))
+        assert report.d_min > 0
+
+    def test_keep_zero(self, rng):
+        points = np.vstack([np.zeros((1, 3)), rng.uniform(size=(10, 3))])
+        report = contrast_report(points, np.zeros(3), exclude_zero=False)
+        assert report.d_min == 0.0
+        assert report.relative_contrast == float("inf")
+
+    def test_all_zero_distances_raise(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(EmptyDatasetError):
+            contrast_report(points, np.zeros(2))
+
+    def test_high_dim_contrast_lower(self, rng):
+        lo_d = contrast_report(rng.uniform(size=(500, 2)), rng.uniform(size=2))
+        hi_d = contrast_report(rng.uniform(size=(500, 100)), rng.uniform(size=100))
+        assert hi_d.relative_contrast < lo_d.relative_contrast
+        assert hi_d.coefficient_of_variation < lo_d.coefficient_of_variation
+
+
+class TestInstability:
+    def test_uniform_high_dim_unstable(self, rng):
+        points = rng.uniform(size=(500, 100))
+        query = rng.uniform(size=100)
+        assert is_unstable_query(points, query, epsilon=0.5)
+
+    def test_clustered_low_dim_stable(self, rng):
+        cluster = rng.normal(0, 0.01, size=(50, 2))
+        far = rng.uniform(5, 6, size=(450, 2))
+        points = np.vstack([cluster, far])
+        assert not is_unstable_query(points, np.zeros(2), epsilon=0.5)
+
+
+class TestAggregates:
+    def test_mean_relative_contrast(self, rng):
+        points = rng.uniform(size=(300, 10))
+        queries = rng.uniform(size=(5, 10))
+        value = mean_relative_contrast(points, queries)
+        assert value > 0
+
+    def test_single_query_promoted(self, rng):
+        points = rng.uniform(size=(100, 4))
+        value = mean_relative_contrast(points, rng.uniform(size=4))
+        assert value > 0
+
+    def test_no_queries(self, rng):
+        with pytest.raises(EmptyDatasetError):
+            mean_relative_contrast(rng.uniform(size=(10, 2)), np.zeros((0, 2)))
+
+    def test_dimensionality_curve_decreasing(self):
+        rng = np.random.default_rng(0)
+        curve = dimensionality_contrast_curve(
+            rng, dims=(2, 20, 100), n_points=400, n_queries=5
+        )
+        assert curve[2] > curve[20] > curve[100]

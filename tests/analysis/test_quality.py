@@ -1,0 +1,143 @@
+"""Unit tests for repro.analysis.quality."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.quality import (
+    coherence_threshold,
+    natural_neighbors,
+    precision_recall_at_k,
+    retrieval_quality,
+    steep_drop_analysis,
+)
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+
+
+class TestRetrievalQuality:
+    def test_perfect(self):
+        q = retrieval_quality(np.array([1, 2, 3]), np.array([1, 2, 3]))
+        assert q.precision == 1.0 and q.recall == 1.0 and q.f1 == 1.0
+
+    def test_partial(self):
+        q = retrieval_quality(np.array([1, 2, 3, 4]), np.array([1, 2, 9, 10]))
+        assert q.precision == 0.5
+        assert q.recall == 0.5
+        assert q.hits == 2
+
+    def test_empty_retrieved(self):
+        q = retrieval_quality(np.array([], dtype=int), np.array([1]))
+        assert q.precision == 0.0 and q.recall == 0.0 and q.f1 == 0.0
+
+    def test_empty_relevant(self):
+        q = retrieval_quality(np.array([1]), np.array([], dtype=int))
+        assert q.recall == 0.0
+
+    def test_precision_recall_at_k(self):
+        ranked = np.array([5, 4, 3, 2, 1])
+        relevant = np.array([5, 4])
+        by_k = precision_recall_at_k(ranked, relevant, (1, 2, 5))
+        assert by_k[1].precision == 1.0
+        assert by_k[2].recall == 1.0
+        assert by_k[5].precision == pytest.approx(0.4)
+
+    def test_at_k_requires_ks(self):
+        with pytest.raises(ConfigurationError):
+            precision_recall_at_k(np.array([1]), np.array([1]), ())
+
+
+class TestSteepDrop:
+    def test_crisp_staircase(self):
+        probs = np.concatenate([np.full(50, 0.95), np.full(450, 0.05)])
+        drop = steep_drop_analysis(probs)
+        assert drop.has_steep_drop
+        assert drop.natural_count == 50
+        assert drop.drop_magnitude == pytest.approx(0.9)
+
+    def test_flat_distribution_no_drop(self):
+        probs = np.full(100, 0.2)
+        drop = steep_drop_analysis(probs)
+        assert not drop.has_steep_drop
+        assert drop.natural_count == 0
+
+    def test_low_plateau_rejected(self):
+        probs = np.concatenate([np.full(10, 0.4), np.zeros(90)])
+        drop = steep_drop_analysis(probs)
+        assert not drop.has_steep_drop
+
+    def test_multi_step_staircase_takes_deepest_cliff(self):
+        probs = np.concatenate(
+            [np.full(30, 0.99), np.full(30, 0.8), np.full(40, 0.05), np.zeros(300)]
+        )
+        drop = steep_drop_analysis(probs)
+        assert drop.has_steep_drop
+        assert drop.natural_count == 60  # both high bands retained
+
+    def test_cut_respects_max_fraction(self):
+        # The only big gap sits beyond half the data: not eligible.
+        probs = np.concatenate([np.full(90, 0.9), np.zeros(10)])
+        drop = steep_drop_analysis(probs, max_fraction=0.5)
+        assert not drop.has_steep_drop
+
+    def test_single_value(self):
+        assert steep_drop_analysis(np.array([0.95])).has_steep_drop
+        assert not steep_drop_analysis(np.array([0.1])).has_steep_drop
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            steep_drop_analysis(np.array([]))
+
+    def test_order_invariant(self, rng):
+        probs = np.concatenate([np.full(20, 0.9), np.zeros(80)])
+        shuffled = rng.permutation(probs)
+        a = steep_drop_analysis(probs)
+        b = steep_drop_analysis(shuffled)
+        assert a.natural_count == b.natural_count
+
+
+class TestCoherenceThreshold:
+    def test_formula(self):
+        assert coherence_threshold(3) == pytest.approx(0.5)
+        assert coherence_threshold(6) == pytest.approx(0.25)
+
+    def test_capped(self):
+        assert coherence_threshold(1) == 0.95
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            coherence_threshold(0)
+
+
+class TestNaturalNeighbors:
+    def test_generic_mode(self):
+        probs = np.concatenate([np.full(25, 0.95), np.zeros(475)])
+        nn = natural_neighbors(probs)
+        assert nn.size == 25
+        assert set(nn.tolist()) == set(range(25))
+
+    def test_iterations_mode_coherence_cut(self):
+        # 3 iterations: members at 1.0, one-iteration shelf at 0.33.
+        probs = np.concatenate(
+            [np.full(40, 1.0), np.full(60, 0.33), np.zeros(400)]
+        )
+        nn = natural_neighbors(probs, iterations=3)
+        assert nn.size == 40
+
+    def test_iterations_mode_falls_back_to_steep_drop(self):
+        # Coherence cut would grab a low-mean set; steep drop rescues.
+        probs = np.concatenate(
+            [np.full(30, 0.9), np.full(200, 0.55), np.zeros(270)]
+        )
+        nn = natural_neighbors(probs, iterations=3, min_set_mean=0.8)
+        assert nn.size == 30
+
+    def test_meaningless_distribution_empty(self):
+        probs = np.full(200, 0.15)
+        assert natural_neighbors(probs, iterations=3).size == 0
+        assert natural_neighbors(probs).size == 0
+
+    def test_returns_highest_probability_indices(self, rng):
+        probs = np.zeros(100)
+        winners = rng.choice(100, size=10, replace=False)
+        probs[winners] = 0.99
+        nn = natural_neighbors(probs)
+        assert set(nn.tolist()) == set(winners.tolist())

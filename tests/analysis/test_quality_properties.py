@@ -1,0 +1,91 @@
+"""Property-based tests for the quality/natural-neighbor machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.quality import (
+    natural_neighbors,
+    retrieval_quality,
+    steep_drop_analysis,
+)
+
+probability_vectors = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=300),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+@given(probability_vectors)
+@settings(max_examples=60, deadline=None)
+def test_steep_drop_output_invariants(probs):
+    drop = steep_drop_analysis(probs)
+    assert drop.natural_count >= 0
+    assert drop.natural_count <= probs.size
+    assert 0.0 <= drop.plateau_value <= 1.0 + 1e-12
+    if drop.has_steep_drop:
+        assert drop.natural_count >= 1
+        assert drop.drop_magnitude > 0
+    else:
+        assert drop.natural_count == 0
+
+
+@given(probability_vectors)
+@settings(max_examples=60, deadline=None)
+def test_steep_drop_permutation_invariant(probs):
+    rng = np.random.default_rng(0)
+    shuffled = rng.permutation(probs)
+    a = steep_drop_analysis(probs)
+    b = steep_drop_analysis(shuffled)
+    assert a.natural_count == b.natural_count
+    assert a.has_steep_drop == b.has_steep_drop
+
+
+@given(probability_vectors, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_natural_neighbors_are_top_ranked(probs, iterations):
+    nn = natural_neighbors(probs, iterations=iterations)
+    assert nn.size <= probs.size
+    if nn.size:
+        cutoff = probs[nn].min()
+        outside = np.setdiff1d(np.arange(probs.size), nn)
+        if outside.size:
+            # No excluded point strictly outranks an included one.
+            assert probs[outside].max() <= cutoff + 1e-12
+
+
+@given(probability_vectors)
+@settings(max_examples=40, deadline=None)
+def test_scaling_down_probabilities_never_creates_clusters(probs):
+    """If no natural cluster exists, shrinking all probabilities
+    uniformly cannot create one."""
+    if natural_neighbors(probs, iterations=3).size == 0:
+        shrunk = probs * 0.5
+        assert natural_neighbors(shrunk, iterations=3).size == 0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=30),
+    st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_retrieval_quality_bounds(retrieved, relevant):
+    quality = retrieval_quality(
+        np.asarray(retrieved, dtype=int), np.asarray(relevant, dtype=int)
+    )
+    assert 0.0 <= quality.precision <= 1.0
+    assert 0.0 <= quality.recall <= 1.0
+    assert 0.0 <= quality.f1 <= 1.0
+    assert quality.hits <= quality.retrieved
+    assert quality.hits <= max(quality.relevant, quality.retrieved)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_retrieval_quality_perfect_when_identical(indices):
+    unique = np.unique(np.asarray(indices, dtype=int))
+    quality = retrieval_quality(unique, unique)
+    assert quality.precision == 1.0
+    assert quality.recall == 1.0

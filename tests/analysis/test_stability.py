@@ -1,0 +1,101 @@
+"""Unit tests for repro.analysis.stability."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import jaccard, query_stability
+from repro.baselines.full_dim import FullDimensionalKNN
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(np.array([1, 2, 3]), np.array([3, 2, 1])) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(np.array([1]), np.array([2])) == 0.0
+
+    def test_partial(self):
+        assert jaccard(np.array([1, 2]), np.array([2, 3])) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(np.array([], int), np.array([], int)) == 1.0
+
+
+class TestQueryStability:
+    def test_clustered_low_dim_stable(self, rng):
+        """kNN inside a crisp low-dim cluster barely changes."""
+        cluster = rng.normal(0, 0.02, size=(100, 2))
+        far = rng.uniform(2, 3, size=(100, 2))
+        ds = Dataset(points=np.vstack([cluster, far]))
+        knn = FullDimensionalKNN(ds)
+        report = query_stability(
+            lambda q: knn.query(q, 20).neighbor_indices,
+            ds.points,
+            cluster[0],
+            np.random.default_rng(0),
+            epsilon=0.1,
+            n_perturbations=5,
+        )
+        assert report.mean_overlap > 0.8
+        assert report.baseline_size == 20
+
+    def test_uniform_high_dim_less_stable(self, rng):
+        """The paper's instability: concentrated distances flip answers."""
+        lo = rng.uniform(size=(400, 2))
+        hi = rng.uniform(size=(400, 60))
+
+        def stability(points, query):
+            ds = Dataset(points=points)
+            knn = FullDimensionalKNN(ds)
+            return query_stability(
+                lambda q: knn.query(q, 10).neighbor_indices,
+                points,
+                query,
+                np.random.default_rng(1),
+                epsilon=2.0,
+                n_perturbations=5,
+            ).mean_overlap
+
+        assert stability(hi, hi[0]) <= stability(lo, lo[0]) + 1e-9
+
+    def test_validation(self, rng):
+        points = rng.normal(size=(20, 3))
+        searcher = lambda q: np.arange(3)
+        with pytest.raises(ConfigurationError):
+            query_stability(searcher, points, points[0], rng, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            query_stability(
+                searcher, points, points[0], rng, n_perturbations=0
+            )
+
+    def test_identical_points_rejected(self, rng):
+        points = np.zeros((10, 2))
+        with pytest.raises(ConfigurationError):
+            query_stability(
+                lambda q: np.arange(2), points, np.zeros(2), rng
+            )
+
+    def test_deterministic_searcher_with_zero_sized_answer(self, rng):
+        points = rng.normal(size=(30, 4))
+        report = query_stability(
+            lambda q: np.array([], dtype=int),
+            points,
+            points[0],
+            np.random.default_rng(2),
+        )
+        assert report.mean_overlap == 1.0  # empty == empty
+        assert report.baseline_size == 0
+
+    def test_overlap_count_matches(self, rng):
+        points = rng.normal(size=(50, 3))
+        report = query_stability(
+            lambda q: np.arange(5),
+            points,
+            points[0],
+            np.random.default_rng(3),
+            n_perturbations=7,
+        )
+        assert len(report.overlaps) == 7
+        assert report.mean_overlap == 1.0  # constant searcher

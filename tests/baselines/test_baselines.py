@@ -1,0 +1,89 @@
+"""Unit tests for the baseline searchers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.full_dim import FullDimensionalKNN
+from repro.baselines.projected import ProjectedNN
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.geometry.distances import manhattan_distance
+
+
+class TestFullDimensionalKNN:
+    def test_basic_query(self, rng):
+        points = rng.normal(size=(100, 5))
+        ds = Dataset(points=points)
+        knn = FullDimensionalKNN(ds)
+        result = knn.query(points[0], 5)
+        assert result.neighbor_indices.size == 5
+        assert result.neighbor_indices[0] == 0  # itself, distance 0
+        assert np.all(np.diff(result.distances) >= 0)
+
+    def test_exclude_index(self, rng):
+        points = rng.normal(size=(50, 3))
+        ds = Dataset(points=points)
+        knn = FullDimensionalKNN(ds)
+        result = knn.query(points[7], 5, exclude_index=7)
+        assert 7 not in result.neighbor_indices.tolist()
+
+    def test_custom_metric(self, rng):
+        points = np.array([[1.0, 1.0], [1.5, 0.0], [5.0, 5.0]])
+        ds = Dataset(points=points)
+        knn = FullDimensionalKNN(ds, metric=manhattan_distance)
+        result = knn.query(np.zeros(2), 1)
+        assert result.neighbor_indices[0] == 1
+
+    def test_k_validation(self, rng):
+        ds = Dataset(points=rng.normal(size=(10, 2)))
+        with pytest.raises(ConfigurationError):
+            FullDimensionalKNN(ds).query(np.zeros(2), 0)
+
+    def test_dataset_property(self, rng):
+        ds = Dataset(points=rng.normal(size=(10, 2)))
+        assert FullDimensionalKNN(ds).dataset is ds
+
+
+class TestProjectedNN:
+    @pytest.fixture
+    def projected_data(self, small_clustered):
+        return small_clustered.dataset
+
+    def test_basic_query(self, projected_data):
+        pnn = ProjectedNN(projected_data)
+        qi = int(projected_data.cluster_indices(0)[0])
+        result = pnn.query(projected_data.points[qi], 10)
+        assert result.neighbor_indices.size == 10
+
+    def test_neighbors_mostly_cluster_members(self, projected_data):
+        qi = int(projected_data.cluster_indices(0)[0])
+        pnn = ProjectedNN(projected_data, support=30)
+        result = pnn.query(projected_data.points[qi], 20, exclude_index=qi)
+        labels = projected_data.labels[result.neighbor_indices]
+        assert (labels == projected_data.label_of(qi)).mean() > 0.5
+
+    def test_find_projection_dim(self, projected_data):
+        pnn = ProjectedNN(projected_data, projection_dim=4)
+        qi = int(projected_data.cluster_indices(0)[0])
+        sub = pnn.find_projection(projected_data.points[qi])
+        assert sub.dim == 4
+
+    def test_axis_parallel(self, projected_data):
+        pnn = ProjectedNN(projected_data, axis_parallel=True)
+        qi = int(projected_data.cluster_indices(1)[0])
+        sub = pnn.find_projection(projected_data.points[qi])
+        assert sub.is_axis_parallel()
+
+    def test_validation(self, projected_data):
+        with pytest.raises(ConfigurationError):
+            ProjectedNN(projected_data, projection_dim=1)
+        with pytest.raises(ConfigurationError):
+            ProjectedNN(projected_data, projection_dim=99)
+        with pytest.raises(ConfigurationError):
+            ProjectedNN(projected_data).query(np.zeros(10), 0)
+
+    def test_exclude_index(self, projected_data):
+        pnn = ProjectedNN(projected_data)
+        qi = int(projected_data.cluster_indices(0)[0])
+        result = pnn.query(projected_data.points[qi], 5, exclude_index=qi)
+        assert qi not in result.neighbor_indices.tolist()

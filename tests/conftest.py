@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    ProjectedClusterSpec,
+    generate_projected_clusters,
+    uniform_dataset,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_clustered():
+    """A small projected-cluster dataset for fast end-to-end tests.
+
+    600 points, 10 dims, 3 clusters each confined to a 4-d axis-parallel
+    subspace, 10% noise.
+    """
+    spec = ProjectedClusterSpec(
+        n_points=600,
+        dim=10,
+        n_clusters=3,
+        cluster_dim=4,
+        axis_parallel=True,
+        noise_fraction=0.1,
+    )
+    return generate_projected_clusters(spec, np.random.default_rng(99))
+
+
+@pytest.fixture
+def small_uniform():
+    """A small uniform dataset (the meaningless case)."""
+    return uniform_dataset(np.random.default_rng(7), n_points=400, dim=10)
+
+
+@pytest.fixture
+def blob_2d(rng):
+    """A crisp 2-D blob plus sparse background, for density tests.
+
+    Returns (points, query) where the query sits at the blob center.
+    """
+    center = np.array([0.5, 0.5])
+    blob = center + rng.normal(0.0, 0.03, size=(200, 2))
+    background = rng.uniform(0.0, 1.0, size=(300, 2))
+    points = np.vstack([blob, background])
+    return points, center

@@ -1,0 +1,74 @@
+"""Tests for batch search execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import run_batch
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.exceptions import ConfigurationError
+from repro.interaction.oracle import OracleUser
+from repro.interaction.scripted import CallbackUser
+from repro.interaction.base import UserDecision
+
+FAST = SearchConfig(
+    support=15,
+    grid_resolution=30,
+    min_major_iterations=2,
+    max_major_iterations=2,
+    projection_restarts=2,
+)
+
+
+class TestRunBatch:
+    def test_basic_batch(self, small_clustered):
+        ds = small_clustered.dataset
+        queries = np.concatenate(
+            [ds.cluster_indices(0)[:2], ds.cluster_indices(1)[:1]]
+        )
+        search = InteractiveNNSearch(ds, FAST)
+        batch = run_batch(search, queries, lambda qi: OracleUser(ds, qi))
+        assert batch.query_count == 3
+        assert batch.meaningful_count >= 2
+        assert 0.0 <= batch.meaningful_fraction <= 1.0
+        assert batch.mean_natural_size > 0
+        assert 0.0 < batch.mean_acceptance_rate <= 1.0
+
+    def test_entries_in_input_order(self, small_clustered):
+        ds = small_clustered.dataset
+        queries = ds.cluster_indices(0)[:3]
+        search = InteractiveNNSearch(ds, FAST)
+        batch = run_batch(search, queries, lambda qi: OracleUser(ds, qi))
+        assert [e.query_index for e in batch.entries] == queries.tolist()
+
+    def test_neighbors_of(self, small_clustered):
+        ds = small_clustered.dataset
+        queries = ds.cluster_indices(0)[:2]
+        search = InteractiveNNSearch(ds, FAST)
+        batch = run_batch(search, queries, lambda qi: OracleUser(ds, qi))
+        nn = batch.neighbors_of(int(queries[0]))
+        assert nn.size > 0
+        with pytest.raises(ConfigurationError):
+            batch.neighbors_of(999_999)
+
+    def test_empty_queries(self, small_clustered):
+        search = InteractiveNNSearch(small_clustered.dataset, FAST)
+        with pytest.raises(ConfigurationError):
+            run_batch(search, np.array([], dtype=int), lambda qi: None)
+
+    def test_out_of_range_query(self, small_clustered):
+        search = InteractiveNNSearch(small_clustered.dataset, FAST)
+        with pytest.raises(ConfigurationError):
+            run_batch(search, np.array([10_000]), lambda qi: None)
+
+    def test_reject_all_batch(self, small_clustered):
+        ds = small_clustered.dataset
+        queries = ds.cluster_indices(0)[:2]
+        search = InteractiveNNSearch(ds, FAST)
+        batch = run_batch(
+            search,
+            queries,
+            lambda qi: CallbackUser(lambda v: UserDecision.reject(v.n_points)),
+        )
+        assert batch.meaningful_count == 0
+        assert batch.mean_natural_size == 0.0

@@ -1,0 +1,41 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestSearchConfig:
+    def test_defaults_valid(self):
+        cfg = SearchConfig()
+        assert cfg.support > 0
+        assert cfg.projection_restarts >= 1
+
+    def test_effective_support_floor(self):
+        cfg = SearchConfig(support=5)
+        assert cfg.effective_support(20) == 20
+        assert cfg.effective_support(3) == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"support": 0},
+            {"grid_resolution": 1},
+            {"bandwidth_scale": 0.0},
+            {"overlap_threshold": 0.0},
+            {"overlap_threshold": 1.5},
+            {"min_major_iterations": 0},
+            {"min_major_iterations": 5, "max_major_iterations": 4},
+            {"projection_restarts": 0},
+            {"projection_weight": 0.0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SearchConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = SearchConfig()
+        with pytest.raises(AttributeError):
+            cfg.support = 99

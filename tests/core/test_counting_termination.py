@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.counting and repro.core.termination."""
+
+import numpy as np
+import pytest
+
+from repro.core.counting import PreferenceCounter
+from repro.core.termination import StabilityTermination, top_set_overlap
+from repro.exceptions import ConfigurationError
+
+
+class TestPreferenceCounter:
+    def test_record_and_counts(self):
+        counter = PreferenceCounter(10)
+        live = np.array([2, 4, 6])
+        counter.record(live, np.array([True, False, True]))
+        counts = counter.counts
+        assert counts[2] == 1 and counts[6] == 1 and counts[4] == 0
+        assert counter.pick_sizes == [2]
+        assert counter.weights == [1.0]
+
+    def test_weighted_record(self):
+        counter = PreferenceCounter(5)
+        counter.record(np.array([0]), np.array([True]), weight=2.5)
+        assert counter.counts[0] == 2.5
+        assert counter.weights == [2.5]
+
+    def test_counts_for_alignment(self):
+        counter = PreferenceCounter(6)
+        counter.record(np.array([1, 3]), np.array([True, True]))
+        live = np.array([3, 5, 1])
+        assert counter.counts_for(live).tolist() == [1.0, 0.0, 1.0]
+
+    def test_unpicked(self):
+        counter = PreferenceCounter(6)
+        counter.record(np.array([1, 3, 5]), np.array([True, False, True]))
+        assert counter.unpicked(np.array([1, 3, 5])).tolist() == [3]
+
+    def test_rejected_view_records_zero(self):
+        counter = PreferenceCounter(4)
+        counter.record(np.arange(4), np.zeros(4, dtype=bool))
+        assert counter.pick_sizes == [0]
+        assert counter.projections_recorded == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PreferenceCounter(0)
+        counter = PreferenceCounter(4)
+        with pytest.raises(ConfigurationError):
+            counter.record(np.arange(4), np.ones(3, dtype=bool))
+        with pytest.raises(ConfigurationError):
+            counter.record(np.arange(4), np.ones(4, dtype=bool), weight=0.0)
+
+
+class TestTopSetOverlap:
+    def test_full_overlap(self):
+        assert top_set_overlap(np.array([1, 2, 3]), np.array([3, 2, 1])) == 1.0
+
+    def test_partial(self):
+        assert top_set_overlap(np.array([1, 2]), np.array([2, 3])) == 0.5
+
+    def test_empty_current(self):
+        assert top_set_overlap(np.array([1]), np.array([], dtype=int)) == 1.0
+
+
+class TestStabilityTermination:
+    def test_stops_when_stable(self):
+        term = StabilityTermination(3, 0.9, min_iterations=2, max_iterations=10)
+        probs = np.array([0.9, 0.8, 0.7, 0.1, 0.0])
+        assert not term.should_stop(probs)  # first iteration: no comparison
+        assert term.should_stop(probs)  # identical top set
+        assert term.last_overlap == 1.0
+
+    def test_does_not_stop_while_changing(self):
+        term = StabilityTermination(2, 0.9, min_iterations=2, max_iterations=10)
+        assert not term.should_stop(np.array([1.0, 0.9, 0.0, 0.0]))
+        assert not term.should_stop(np.array([0.0, 0.0, 1.0, 0.9]))
+        assert term.last_overlap == 0.0
+
+    def test_min_iterations_respected(self):
+        term = StabilityTermination(2, 0.5, min_iterations=3, max_iterations=10)
+        probs = np.array([1.0, 0.9, 0.0])
+        assert not term.should_stop(probs)
+        assert not term.should_stop(probs)  # stable but below min iterations
+        assert term.should_stop(probs)
+
+    def test_max_iterations_forces_stop(self):
+        term = StabilityTermination(2, 1.0, min_iterations=1, max_iterations=2)
+        a = np.array([1.0, 0.9, 0.0])
+        b = np.array([0.0, 0.9, 1.0])
+        assert not term.should_stop(a)
+        assert term.should_stop(b)  # hit max despite instability
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StabilityTermination(0, 0.9)
+        with pytest.raises(ConfigurationError):
+            StabilityTermination(3, 0.0)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.meaningfulness (Fig. 8, Eqs. 3-8)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.meaningfulness import (
+    MeaningfulnessAccumulator,
+    iteration_statistics,
+    meaningfulness_coefficients,
+    meaningfulness_probabilities,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestIterationStatistics:
+    def test_expected_and_variance_formulas(self):
+        picks = np.array([10.0, 20.0, 0.0])
+        stats = iteration_statistics(picks, population=100)
+        fracs = picks / 100
+        assert stats.expected == pytest.approx(fracs.sum())
+        assert stats.variance == pytest.approx((fracs * (1 - fracs)).sum())
+
+    def test_weighted(self):
+        picks = np.array([10.0, 10.0])
+        weights = np.array([2.0, 1.0])
+        stats = iteration_statistics(picks, 100, weights=weights)
+        assert stats.expected == pytest.approx(0.1 * 2 + 0.1)
+        assert stats.variance == pytest.approx(4 * 0.09 + 0.09)
+
+    def test_full_pick_zero_variance(self):
+        stats = iteration_statistics(np.array([100.0]), 100)
+        assert stats.variance == 0.0
+        assert stats.expected == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            iteration_statistics(np.array([1.0]), 0)
+        with pytest.raises(ConfigurationError):
+            iteration_statistics(np.array([-1.0]), 10)
+        with pytest.raises(ConfigurationError):
+            iteration_statistics(np.array([11.0]), 10)
+        with pytest.raises(ConfigurationError):
+            iteration_statistics(np.array([1.0]), 10, weights=np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            iteration_statistics(np.array([1.0]), 10, weights=np.array([0.0]))
+
+
+class TestCoefficients:
+    def test_formula(self):
+        picks = np.array([50.0, 50.0])
+        stats = iteration_statistics(picks, 100)
+        v = np.array([2.0, 1.0, 0.0])
+        m = meaningfulness_coefficients(v, stats)
+        expected = (v - 1.0) / np.sqrt(0.5)
+        assert np.allclose(m, expected)
+
+    def test_zero_variance_gives_zero(self):
+        stats = iteration_statistics(np.array([0.0]), 10)
+        m = meaningfulness_coefficients(np.array([0.0, 1.0]), stats)
+        assert np.allclose(m, 0.0)
+
+    def test_probabilities_formula(self):
+        picks = np.array([30.0, 30.0, 30.0, 30.0])
+        stats = iteration_statistics(picks, 100)
+        v = np.array([4.0])
+        p = meaningfulness_probabilities(v, stats)
+        m = (4.0 - 1.2) / np.sqrt(4 * 0.3 * 0.7)
+        assert p[0] == pytest.approx(max(2 * norm.cdf(m) - 1, 0.0))
+
+    def test_below_expectation_clips_to_zero(self):
+        picks = np.array([90.0, 90.0])
+        stats = iteration_statistics(picks, 100)
+        p = meaningfulness_probabilities(np.array([0.0]), stats)
+        assert p[0] == 0.0
+
+    def test_probability_bounds(self):
+        rng = np.random.default_rng(0)
+        picks = rng.integers(0, 100, size=10).astype(float)
+        stats = iteration_statistics(picks, 100)
+        v = rng.integers(0, 10, size=50).astype(float)
+        p = meaningfulness_probabilities(v, stats)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_normal_approximation_against_monte_carlo(self):
+        """Eq. 6's normal approximation matches simulated Bernoulli sums."""
+        rng = np.random.default_rng(1)
+        picks = np.full(10, 30.0)
+        population = 100
+        stats = iteration_statistics(picks, population)
+        # Simulate the null: independent picks with prob 0.3 each.
+        sims = rng.binomial(1, 0.3, size=(20000, 10)).sum(axis=1)
+        # P(count >= 6) under the null vs the normal tail.
+        v = np.array([6.0])
+        m = meaningfulness_coefficients(v, stats)[0]
+        normal_tail = 1 - norm.cdf(m)
+        empirical_tail = float(np.mean(sims >= 6))
+        assert normal_tail == pytest.approx(empirical_tail, abs=0.03)
+
+
+class TestAccumulator:
+    def test_averaging(self):
+        acc = MeaningfulnessAccumulator(4)
+        stats = iteration_statistics(np.array([1.0]), 4)
+        acc.update(np.arange(4), np.array([1.0, 0.0, 0.0, 0.0]), stats)
+        acc.update(np.arange(4), np.array([1.0, 1.0, 0.0, 0.0]), stats)
+        avg = acc.averages()
+        assert acc.iterations == 2
+        assert avg[0] > avg[1] > avg[2]
+        assert avg[2] == avg[3] == 0.0
+
+    def test_pruned_points_keep_history(self):
+        acc = MeaningfulnessAccumulator(3)
+        stats = iteration_statistics(np.array([1.0]), 3)
+        acc.update(np.arange(3), np.array([1.0, 0.0, 0.0]), stats)
+        # Second iteration only covers points 0 and 1.
+        stats2 = iteration_statistics(np.array([1.0]), 2)
+        acc.update(np.array([0, 1]), np.array([1.0, 0.0]), stats2)
+        avg = acc.averages()
+        assert avg[0] > 0
+        assert avg[2] == 0.0
+
+    def test_no_iterations(self):
+        acc = MeaningfulnessAccumulator(5)
+        assert np.allclose(acc.averages(), 0.0)
+
+    def test_top_indices_deterministic_ties(self):
+        acc = MeaningfulnessAccumulator(4)
+        assert acc.top_indices(2).tolist() == [0, 1]
+
+    def test_misaligned_update(self):
+        acc = MeaningfulnessAccumulator(4)
+        stats = iteration_statistics(np.array([1.0]), 4)
+        with pytest.raises(ConfigurationError):
+            acc.update(np.arange(4), np.array([1.0, 0.0]), stats)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            MeaningfulnessAccumulator(0)
+
+    def test_sums_property_returns_copy(self):
+        acc = MeaningfulnessAccumulator(2)
+        sums = acc.sums
+        sums[0] = 99.0
+        assert acc.sums[0] == 0.0

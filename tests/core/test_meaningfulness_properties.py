@@ -1,0 +1,91 @@
+"""Property-based tests for the meaningfulness statistics (Fig. 8)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.meaningfulness import (
+    MeaningfulnessAccumulator,
+    iteration_statistics,
+    meaningfulness_coefficients,
+    meaningfulness_probabilities,
+)
+
+
+@st.composite
+def iteration_setups(draw):
+    """Random pick-count vectors with a population."""
+    population = draw(st.integers(min_value=2, max_value=500))
+    n_views = draw(st.integers(min_value=1, max_value=12))
+    picks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=population),
+            min_size=n_views,
+            max_size=n_views,
+        )
+    )
+    return np.asarray(picks, dtype=float), population
+
+
+@given(iteration_setups())
+@settings(max_examples=80, deadline=None)
+def test_statistics_bounds(setup):
+    picks, population = setup
+    stats = iteration_statistics(picks, population)
+    assert 0.0 <= stats.expected <= picks.size
+    assert 0.0 <= stats.variance <= picks.size * 0.25 + 1e-12
+
+
+@given(iteration_setups())
+@settings(max_examples=80, deadline=None)
+def test_probabilities_in_unit_interval(setup):
+    picks, population = setup
+    stats = iteration_statistics(picks, population)
+    rng = np.random.default_rng(1)
+    counts = rng.integers(0, picks.size + 1, size=37).astype(float)
+    probs = meaningfulness_probabilities(counts, stats)
+    assert np.all(probs >= 0)
+    assert np.all(probs <= 1)
+
+
+@given(iteration_setups())
+@settings(max_examples=80, deadline=None)
+def test_coefficients_monotone_in_counts(setup):
+    """More picks never lowers the meaningfulness coefficient."""
+    picks, population = setup
+    stats = iteration_statistics(picks, population)
+    counts = np.arange(picks.size + 1, dtype=float)
+    m = meaningfulness_coefficients(counts, stats)
+    assert np.all(np.diff(m) >= -1e-12)
+
+
+@given(iteration_setups())
+@settings(max_examples=80, deadline=None)
+def test_expected_count_scores_zero(setup):
+    """A point picked exactly as often as chance predicts gets P = 0."""
+    picks, population = setup
+    stats = iteration_statistics(picks, population)
+    probs = meaningfulness_probabilities(np.array([stats.expected]), stats)
+    assert probs[0] <= 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_accumulator_average_bounded(n_points, n_iterations, seed):
+    rng = np.random.default_rng(seed)
+    acc = MeaningfulnessAccumulator(n_points)
+    for _ in range(n_iterations):
+        live = np.arange(n_points)
+        picks = rng.integers(0, n_points + 1, size=4).astype(float)
+        stats = iteration_statistics(picks, n_points)
+        counts = rng.integers(0, 5, size=n_points).astype(float)
+        acc.update(live, counts, stats)
+    averages = acc.averages()
+    assert averages.shape == (n_points,)
+    assert np.all(averages >= 0)
+    assert np.all(averages <= 1 + 1e-12)
+    assert acc.iterations == n_iterations

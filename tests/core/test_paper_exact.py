@@ -1,0 +1,73 @@
+"""Tests for the paper-exact configuration preset."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.exceptions import ConfigurationError
+from repro.interaction.oracle import OracleUser
+
+
+class TestPaperExactPreset:
+    def test_disables_extensions(self):
+        cfg = SearchConfig.paper_exact()
+        assert cfg.projection_restarts == 1
+        assert cfg.bandwidth_scale == 1.0
+
+    def test_overrides_apply(self):
+        cfg = SearchConfig.paper_exact(support=42, max_major_iterations=3)
+        assert cfg.support == 42
+        assert cfg.max_major_iterations == 3
+        assert cfg.projection_restarts == 1
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchConfig.paper_exact(support=0)
+
+    def test_paper_exact_still_works_on_easy_data(self, small_clustered):
+        """Verbatim Fig. 2/3 machinery recovers an easy cluster."""
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        cfg = SearchConfig.paper_exact(
+            support=15,
+            grid_resolution=30,
+            min_major_iterations=2,
+            max_major_iterations=2,
+        )
+        result = InteractiveNNSearch(ds, cfg).run(ds.points[qi], OracleUser(ds, qi))
+        true = set(ds.cluster_indices(0).tolist())
+        hits = sum(1 for i in result.neighbor_indices.tolist() if i in true)
+        assert hits / result.neighbor_indices.size > 0.6
+
+    def test_extensions_never_hurt_on_easy_data(self, small_clustered):
+        """Library defaults perform at least comparably to paper-exact."""
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(1)[0])
+        true = set(ds.cluster_indices(1).tolist())
+
+        def precision(cfg):
+            result = InteractiveNNSearch(ds, cfg).run(
+                ds.points[qi], OracleUser(ds, qi)
+            )
+            idx = result.neighbor_indices
+            return sum(1 for i in idx.tolist() if i in true) / idx.size
+
+        paper = precision(
+            SearchConfig.paper_exact(
+                support=15,
+                grid_resolution=30,
+                min_major_iterations=2,
+                max_major_iterations=2,
+            )
+        )
+        default = precision(
+            SearchConfig(
+                support=15,
+                grid_resolution=30,
+                min_major_iterations=2,
+                max_major_iterations=2,
+                projection_restarts=3,
+            )
+        )
+        assert default >= paper - 0.1

@@ -1,0 +1,119 @@
+"""Property-based tests for the search driver (hypothesis).
+
+These exercise the full interactive loop on small random workloads and
+check structural invariants that must hold regardless of the data or
+the user's behaviour.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.data.dataset import Dataset
+from repro.interaction.base import UserDecision
+from repro.interaction.scripted import CallbackUser, FixedThresholdUser
+
+TINY = SearchConfig(
+    support=5,
+    grid_resolution=15,
+    min_major_iterations=1,
+    max_major_iterations=2,
+    projection_restarts=1,
+)
+
+
+@st.composite
+def workloads(draw):
+    """Small random datasets with a query index and a threshold policy."""
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    n = draw(st.integers(min_value=12, max_value=60))
+    d = draw(st.integers(min_value=4, max_value=8))
+    rng = np.random.default_rng(seed)
+    # Mixture of a blob and noise so some structure may or may not exist.
+    blob_frac = draw(st.floats(min_value=0.0, max_value=0.8))
+    n_blob = int(blob_frac * n)
+    blob = rng.normal(0.4, 0.05, size=(n_blob, d))
+    noise = rng.uniform(0, 1, size=(n - n_blob, d))
+    points = np.vstack([blob, noise])
+    query_index = draw(st.integers(min_value=0, max_value=n - 1))
+    return Dataset(points=points), query_index
+
+
+@given(workloads(), st.floats(min_value=0.01, max_value=5.0))
+@settings(max_examples=20, deadline=None)
+def test_result_structure_invariants(workload, threshold):
+    dataset, query_index = workload
+    search = InteractiveNNSearch(dataset, TINY)
+    result = search.run(dataset.points[query_index], FixedThresholdUser(threshold))
+    # Probabilities are a valid vector over all points.
+    assert result.probabilities.shape == (dataset.size,)
+    assert np.all(result.probabilities >= 0)
+    assert np.all(result.probabilities <= 1 + 1e-9)
+    # The neighbor list has the effective support size, unique entries,
+    # sorted by probability.
+    assert result.neighbor_indices.size == result.support
+    assert len(set(result.neighbor_indices.tolist())) == result.support
+    probs = result.probabilities[result.neighbor_indices]
+    assert np.all(np.diff(probs) <= 1e-12)
+
+
+@given(workloads())
+@settings(max_examples=15, deadline=None)
+def test_determinism(workload):
+    dataset, query_index = workload
+    a = InteractiveNNSearch(dataset, TINY).run(
+        dataset.points[query_index], FixedThresholdUser(0.5)
+    )
+    b = InteractiveNNSearch(dataset, TINY).run(
+        dataset.points[query_index], FixedThresholdUser(0.5)
+    )
+    assert np.array_equal(a.neighbor_indices, b.neighbor_indices)
+    assert np.allclose(a.probabilities, b.probabilities)
+
+
+@given(workloads())
+@settings(max_examples=15, deadline=None)
+def test_session_bookkeeping_consistent(workload):
+    dataset, query_index = workload
+    result = InteractiveNNSearch(dataset, TINY).run(
+        dataset.points[query_index], FixedThresholdUser(0.5)
+    )
+    session = result.session
+    views_per_major = dataset.dim // 2
+    assert session.total_views == len(session.major_records) * views_per_major
+    for major in session.major_records:
+        assert len(major.pick_counts) == views_per_major
+        assert 0 < major.live_count_before <= dataset.size
+        assert 0 < major.live_count_after <= major.live_count_before
+        assert major.variance >= 0
+    # Selected counts in minors match the major pick counts.
+    for major in session.major_records:
+        minors = session.minor_records_of(major.index)
+        assert tuple(m.selected_count for m in minors) == major.pick_counts
+
+
+@given(workloads(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_user_seeing_consistent_views(workload, reject_after):
+    """Live indices shown to the user always reference real points."""
+    dataset, query_index = workload
+    seen: list[np.ndarray] = []
+
+    def spy(view):
+        seen.append(view.live_indices)
+        assert view.projected_points.shape == (view.live_indices.size, 2)
+        assert view.total_points == dataset.size
+        if len(seen) > reject_after:
+            return UserDecision.reject(view.n_points)
+        mask = np.ones(view.n_points, dtype=bool)
+        return UserDecision(accepted=True, selected_mask=mask)
+
+    InteractiveNNSearch(dataset, TINY).run(
+        dataset.points[query_index], CallbackUser(spy)
+    )
+    for live in seen:
+        assert np.all(live >= 0)
+        assert np.all(live < dataset.size)
+        assert len(set(live.tolist())) == live.size

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.core.serialization import (
+    load_result_dict,
+    result_to_dict,
+    save_result,
+    session_to_dict,
+)
+from repro.interaction.oracle import OracleUser
+
+FAST = SearchConfig(
+    support=15,
+    grid_resolution=30,
+    min_major_iterations=2,
+    max_major_iterations=2,
+    projection_restarts=2,
+)
+
+
+@pytest.fixture(scope="module")
+def finished_result(small_clustered_module):
+    ds = small_clustered_module.dataset
+    qi = int(ds.cluster_indices(0)[0])
+    return InteractiveNNSearch(ds, FAST).run(ds.points[qi], OracleUser(ds, qi))
+
+
+@pytest.fixture(scope="module")
+def small_clustered_module():
+    from repro.data.synthetic import (
+        ProjectedClusterSpec,
+        generate_projected_clusters,
+    )
+
+    spec = ProjectedClusterSpec(
+        n_points=600, dim=10, n_clusters=3, cluster_dim=4, axis_parallel=True
+    )
+    return generate_projected_clusters(spec, np.random.default_rng(99))
+
+
+class TestSessionToDict:
+    def test_structure(self, finished_result):
+        payload = session_to_dict(finished_result.session)
+        assert payload["total_views"] == finished_result.session.total_views
+        assert len(payload["minor_iterations"]) == payload["total_views"]
+        assert len(payload["major_iterations"]) == len(
+            finished_result.session.major_records
+        )
+        first = payload["minor_iterations"][0]
+        assert {"major", "minor", "accepted", "profile"} <= set(first)
+        assert "basis" not in first
+
+    def test_include_bases(self, finished_result):
+        payload = session_to_dict(finished_result.session, include_bases=True)
+        basis = payload["minor_iterations"][0]["basis"]
+        assert len(basis) == 2
+        assert len(basis[0]) == 10
+
+    def test_json_round_trip(self, finished_result):
+        payload = session_to_dict(finished_result.session)
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestResultToDict:
+    def test_top_k_probabilities(self, finished_result):
+        payload = result_to_dict(finished_result, top_k_probabilities=7)
+        assert len(payload["probabilities"]) == 7
+        probs = [entry["probability"] for entry in payload["probabilities"]]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_full_probabilities(self, finished_result):
+        payload = result_to_dict(finished_result, top_k_probabilities=None)
+        assert len(payload["probabilities"]) == 600
+
+    def test_metadata_fields(self, finished_result):
+        payload = result_to_dict(finished_result)
+        assert payload["support"] == finished_result.support
+        assert payload["reason"] == finished_result.reason.value
+        assert payload["neighbor_indices"] == (
+            finished_result.neighbor_indices.tolist()
+        )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, finished_result, tmp_path):
+        path = save_result(finished_result, tmp_path / "run.json")
+        loaded = load_result_dict(path)
+        assert loaded["support"] == finished_result.support
+        assert loaded["session"]["total_views"] == (
+            finished_result.session.total_views
+        )
+
+    def test_creates_directories(self, finished_result, tmp_path):
+        path = save_result(finished_result, tmp_path / "a" / "b" / "run.json")
+        assert path.exists()

@@ -1,0 +1,60 @@
+"""Focused tests for session record details added late in development."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.interaction.oracle import OracleUser
+from repro.interaction.scripted import CallbackUser
+from repro.interaction.base import UserDecision
+
+FAST = SearchConfig(
+    support=15,
+    grid_resolution=30,
+    min_major_iterations=2,
+    max_major_iterations=2,
+    projection_restarts=2,
+)
+
+
+class TestSelectedIndices:
+    def test_accepted_views_store_original_indices(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], OracleUser(ds, qi))
+        for record in result.session.minor_records:
+            assert record.selected_indices.size == record.selected_count
+            if record.selected_indices.size:
+                assert record.selected_indices.min() >= 0
+                assert record.selected_indices.max() < ds.size
+
+    def test_rejected_views_store_empty(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        reject = CallbackUser(lambda v: UserDecision.reject(v.n_points))
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], reject)
+        for record in result.session.minor_records:
+            assert record.selected_indices.size == 0
+
+    def test_selections_subset_of_live(self, small_clustered):
+        """Selected indices always reference points that were live."""
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(1)[0])
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], OracleUser(ds, qi))
+        session = result.session
+        for major in session.major_records:
+            for record in session.minor_records_of(major.index):
+                if record.selected_indices.size:
+                    assert record.selected_indices.size <= record.live_count
+
+    def test_counts_match_selections(self, small_clustered):
+        """The probability mass comes exactly from recorded selections."""
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], OracleUser(ds, qi))
+        ever_selected = set()
+        for record in result.session.minor_records:
+            ever_selected |= set(record.selected_indices.tolist())
+        positive = set(np.flatnonzero(result.probabilities > 0).tolist())
+        assert positive <= ever_selected

@@ -1,0 +1,100 @@
+"""Tests for the weighted-views extension (the paper's w_i)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.counting import PreferenceCounter
+from repro.core.meaningfulness import iteration_statistics
+from repro.core.search import InteractiveNNSearch
+from repro.exceptions import InteractionError
+from repro.interaction.base import UserDecision
+from repro.interaction.oracle import OracleUser
+from repro.interaction.scripted import CallbackUser
+
+FAST = SearchConfig(
+    support=15,
+    grid_resolution=30,
+    min_major_iterations=2,
+    max_major_iterations=2,
+    projection_restarts=2,
+)
+
+
+class TestDecisionWeight:
+    def test_default_weight(self):
+        d = UserDecision(accepted=True, selected_mask=np.array([True]))
+        assert d.weight == 1.0
+
+    def test_invalid_weight(self):
+        with pytest.raises(InteractionError):
+            UserDecision(
+                accepted=True, selected_mask=np.array([True]), weight=0.0
+            )
+
+    def test_weight_flows_into_counts(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        weights_seen = []
+
+        def weighted(view):
+            mask = np.zeros(view.n_points, dtype=bool)
+            mask[:10] = True
+            weights_seen.append(0.5)
+            return UserDecision(
+                accepted=True, selected_mask=mask, weight=0.5
+            )
+
+        result = InteractiveNNSearch(ds, FAST).run(
+            ds.points[qi], CallbackUser(weighted)
+        )
+        # Counts were incremented by 0.5 per view, never 1.0: the raw
+        # sums must be multiples of 0.5 that are not all integers.
+        assert result.session.total_views == len(weights_seen)
+
+    def test_weighted_statistics(self):
+        picks = np.array([10.0, 10.0])
+        weights = np.array([1.0, 0.5])
+        stats = iteration_statistics(picks, 100, weights=weights)
+        # E = 1*0.1 + 0.5*0.1 ; var = 1*0.09 + 0.25*0.09
+        assert stats.expected == pytest.approx(0.15)
+        assert stats.variance == pytest.approx(0.09 + 0.0225)
+
+    def test_counter_mixed_weights(self):
+        counter = PreferenceCounter(5)
+        counter.record(np.arange(5), np.array([1, 0, 0, 0, 0], bool), weight=1.0)
+        counter.record(np.arange(5), np.array([1, 1, 0, 0, 0], bool), weight=0.25)
+        assert counter.counts[0] == 1.25
+        assert counter.counts[1] == 0.25
+        assert counter.weights == [1.0, 0.25]
+
+
+class TestConfidenceWeightedOracle:
+    def test_confidence_weights_recorded(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        user = OracleUser(ds, qi, weight_by_confidence=True)
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], user)
+        assert result.neighbor_indices.size > 0
+        # Accepted views happened and quality is preserved.
+        assert result.session.accepted_views > 0
+        true = set(ds.cluster_indices(0).tolist())
+        hits = sum(1 for i in result.neighbor_indices.tolist() if i in true)
+        assert hits / result.neighbor_indices.size > 0.8
+
+    def test_same_ranking_quality_as_unweighted(self, small_clustered):
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(1)[0])
+        plain = InteractiveNNSearch(ds, FAST).run(
+            ds.points[qi], OracleUser(ds, qi)
+        )
+        weighted = InteractiveNNSearch(ds, FAST).run(
+            ds.points[qi], OracleUser(ds, qi, weight_by_confidence=True)
+        )
+        true = set(ds.cluster_indices(1).tolist())
+
+        def precision(result):
+            idx = result.neighbor_indices
+            return sum(1 for i in idx.tolist() if i in true) / idx.size
+
+        assert abs(precision(plain) - precision(weighted)) < 0.3

@@ -1,0 +1,98 @@
+"""Unit tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import NOISE_LABEL, Dataset
+from repro.exceptions import DimensionalityError, EmptyDatasetError
+
+
+@pytest.fixture
+def labelled():
+    points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+    labels = np.array([0, 0, 1, NOISE_LABEL])
+    return Dataset(points=points, labels=labels, name="demo")
+
+
+class TestConstruction:
+    def test_basic(self, labelled):
+        assert labelled.size == 4
+        assert labelled.dim == 2
+        assert len(labelled) == 4
+        assert labelled.has_labels
+
+    def test_no_labels(self):
+        ds = Dataset(points=np.ones((3, 2)))
+        assert not ds.has_labels
+
+    def test_points_coerced_to_float(self):
+        ds = Dataset(points=np.array([[1, 2], [3, 4]]))
+        assert ds.points.dtype == float
+
+    def test_wrong_ndim(self):
+        with pytest.raises(DimensionalityError):
+            Dataset(points=np.ones(5))
+
+    def test_empty(self):
+        with pytest.raises(EmptyDatasetError):
+            Dataset(points=np.zeros((0, 2)))
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            Dataset(points=np.ones((3, 2)), labels=np.array([0, 1]))
+
+
+class TestLabels:
+    def test_label_of(self, labelled):
+        assert labelled.label_of(0) == 0
+        assert labelled.label_of(3) == NOISE_LABEL
+
+    def test_label_of_unlabelled(self):
+        ds = Dataset(points=np.ones((2, 2)))
+        with pytest.raises(EmptyDatasetError):
+            ds.label_of(0)
+
+    def test_cluster_indices(self, labelled):
+        assert labelled.cluster_indices(0).tolist() == [0, 1]
+        assert labelled.cluster_indices(1).tolist() == [2]
+        assert labelled.cluster_indices(42).size == 0
+
+    def test_cluster_sizes(self, labelled):
+        sizes = labelled.cluster_sizes()
+        assert sizes == {NOISE_LABEL: 1, 0: 2, 1: 1}
+
+
+class TestTransforms:
+    def test_subset(self, labelled):
+        sub = labelled.subset(np.array([1, 2]))
+        assert sub.size == 2
+        assert sub.labels.tolist() == [0, 1]
+        assert "subset" in sub.name
+
+    def test_normalized_range(self, rng):
+        ds = Dataset(points=rng.normal(10.0, 5.0, size=(50, 3)))
+        norm = ds.normalized()
+        assert norm.points.min() >= 0.0
+        assert norm.points.max() <= 1.0 + 1e-12
+
+    def test_normalized_constant_column(self):
+        ds = Dataset(points=np.column_stack([np.ones(5), np.arange(5.0)]))
+        norm = ds.normalized()
+        assert np.allclose(norm.points[:, 0], 0.0)
+
+    def test_standardized(self, rng):
+        ds = Dataset(points=rng.normal(3.0, 2.0, size=(100, 2)))
+        std = ds.standardized()
+        assert np.allclose(std.points.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(std.points.std(axis=0), 1.0, atol=1e-10)
+
+    def test_without_index(self, labelled):
+        smaller = labelled.without_index(1)
+        assert smaller.size == 3
+        assert smaller.labels.tolist() == [0, 1, NOISE_LABEL]
+
+    def test_transforms_preserve_original(self, labelled):
+        before = labelled.points.copy()
+        labelled.normalized()
+        labelled.standardized()
+        assert np.array_equal(labelled.points, before)

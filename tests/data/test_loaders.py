@@ -1,0 +1,156 @@
+"""Unit tests for repro.data.loaders (UCI file parsers)."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import (
+    load_csv_dataset,
+    load_ionosphere,
+    load_segmentation,
+)
+from repro.exceptions import ConfigurationError
+
+
+def make_ionosphere_file(tmp_path, rows):
+    path = tmp_path / "ionosphere.data"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+def iono_row(klass="g", fill=0.5):
+    return ",".join(["%.2f" % fill] * 34 + [klass])
+
+
+class TestLoadIonosphere:
+    def test_basic(self, tmp_path):
+        path = make_ionosphere_file(
+            tmp_path, [iono_row("g", 0.1), iono_row("b", 0.9), ""]
+        )
+        ds = load_ionosphere(path)
+        assert ds.size == 2
+        assert ds.dim == 34
+        assert ds.labels.tolist() == [0, 1]
+        assert ds.name == "ionosphere"
+
+    def test_wrong_arity(self, tmp_path):
+        path = make_ionosphere_file(tmp_path, ["1,2,3,g"])
+        with pytest.raises(ConfigurationError, match="expected 35"):
+            load_ionosphere(path)
+
+    def test_unknown_class(self, tmp_path):
+        path = make_ionosphere_file(tmp_path, [iono_row("x")])
+        with pytest.raises(ConfigurationError, match="unknown class"):
+            load_ionosphere(path)
+
+    def test_non_numeric(self, tmp_path):
+        bad = ",".join(["abc"] + ["0.1"] * 33 + ["g"])
+        path = make_ionosphere_file(tmp_path, [bad])
+        with pytest.raises(ConfigurationError, match="non-numeric"):
+            load_ionosphere(path)
+
+    def test_empty_file(self, tmp_path):
+        path = make_ionosphere_file(tmp_path, [""])
+        with pytest.raises(ConfigurationError, match="no data rows"):
+            load_ionosphere(path)
+
+
+def seg_row(klass="SKY", fill=1.0):
+    return klass + "," + ",".join(["%.1f" % fill] * 19)
+
+
+class TestLoadSegmentation:
+    def test_basic_with_header(self, tmp_path):
+        content = [
+            "BRICKFACE,SKY,FOLIAGE,CEMENT,WINDOW,PATH,GRASS",  # header
+            "",
+            seg_row("SKY", 1.0),
+            seg_row("GRASS", 2.0),
+            seg_row("PATH", 3.0),
+        ]
+        path = tmp_path / "segmentation.data"
+        path.write_text("\n".join(content))
+        ds = load_segmentation(path)
+        assert ds.size == 3
+        assert ds.dim == 19
+        assert ds.labels.tolist() == [1, 6, 5]
+
+    def test_unknown_class(self, tmp_path):
+        path = tmp_path / "segmentation.data"
+        path.write_text(seg_row("OCEAN"))
+        with pytest.raises(ConfigurationError, match="unknown class"):
+            load_segmentation(path)
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "segmentation.data"
+        path.write_text("just,a,header\n")
+        with pytest.raises(ConfigurationError, match="no data rows"):
+            load_segmentation(path)
+
+
+class TestLoadCsv:
+    def test_unlabelled(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,2,3\n4,5,6\n")
+        ds = load_csv_dataset(path)
+        assert ds.size == 2
+        assert ds.dim == 3
+        assert not ds.has_labels
+        assert ds.name == "data"
+
+    def test_trailing_label_column(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,2,0\n4,5,1\n")
+        ds = load_csv_dataset(path, label_column=-1)
+        assert ds.dim == 2
+        assert ds.labels.tolist() == [0, 1]
+
+    def test_header_skip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        ds = load_csv_dataset(path, skip_header=1)
+        assert ds.size == 2
+
+    def test_non_numeric_cells(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,x\n")
+        with pytest.raises(ConfigurationError):
+            load_csv_dataset(path)
+
+    def test_single_row(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,2,3\n")
+        ds = load_csv_dataset(path)
+        assert ds.size == 1
+
+    def test_label_only_columns(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("0\n1\n")
+        with pytest.raises(ConfigurationError, match="no attribute columns"):
+            load_csv_dataset(path, label_column=0)
+
+    def test_loaded_data_runs_through_pipeline(self, tmp_path, rng):
+        """End-to-end: a user CSV straight into the interactive search."""
+        blob = np.vstack(
+            [
+                rng.normal(0.3, 0.02, size=(60, 4)),
+                rng.uniform(0, 1, size=(100, 4)),
+            ]
+        )
+        path = tmp_path / "user.csv"
+        np.savetxt(path, blob, delimiter=",")
+        ds = load_csv_dataset(path)
+
+        from repro import InteractiveNNSearch, SearchConfig
+        from repro.interaction.scripted import FixedThresholdUser
+
+        config = SearchConfig(
+            support=10,
+            grid_resolution=20,
+            min_major_iterations=1,
+            max_major_iterations=1,
+            projection_restarts=1,
+        )
+        result = InteractiveNNSearch(ds, config).run(
+            ds.points[0], FixedThresholdUser(0.5)
+        )
+        assert result.probabilities.shape == (160,)

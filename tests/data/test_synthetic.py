@@ -1,0 +1,151 @@
+"""Unit tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import NOISE_LABEL
+from repro.data.synthetic import (
+    ProjectedClusterSpec,
+    case1_dataset,
+    case2_dataset,
+    gaussian_mixture_dataset,
+    generate_projected_clusters,
+    uniform_dataset,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        ProjectedClusterSpec()
+
+    def test_invalid_counts(self):
+        with pytest.raises(ConfigurationError):
+            ProjectedClusterSpec(n_points=0)
+        with pytest.raises(ConfigurationError):
+            ProjectedClusterSpec(cluster_dim=0)
+        with pytest.raises(ConfigurationError):
+            ProjectedClusterSpec(cluster_dim=30, dim=20)
+        with pytest.raises(ConfigurationError):
+            ProjectedClusterSpec(noise_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            ProjectedClusterSpec(n_clusters=0)
+        with pytest.raises(ConfigurationError):
+            ProjectedClusterSpec(range_low=1.0, range_high=0.0)
+
+    def test_weights_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProjectedClusterSpec(n_clusters=2, cluster_weights=(1.0,))
+        with pytest.raises(ConfigurationError):
+            ProjectedClusterSpec(n_clusters=2, cluster_weights=(1.0, -1.0))
+
+
+class TestGenerator:
+    def test_counts_and_labels(self, rng):
+        spec = ProjectedClusterSpec(
+            n_points=500, dim=10, n_clusters=4, cluster_dim=3, noise_fraction=0.2
+        )
+        data = generate_projected_clusters(spec, rng)
+        ds = data.dataset
+        assert ds.size == 500
+        sizes = ds.cluster_sizes()
+        assert sizes[NOISE_LABEL] == 100
+        assert sum(v for k, v in sizes.items() if k != NOISE_LABEL) == 400
+        assert len(data.clusters) == 4
+
+    def test_weighted_clusters(self, rng):
+        spec = ProjectedClusterSpec(
+            n_points=400,
+            dim=8,
+            n_clusters=2,
+            cluster_dim=2,
+            noise_fraction=0.0,
+            cluster_weights=(3.0, 1.0),
+        )
+        data = generate_projected_clusters(spec, rng)
+        sizes = data.dataset.cluster_sizes()
+        assert sizes[0] == 300 and sizes[1] == 100
+
+    def test_cluster_tight_in_own_subspace(self, rng):
+        spec = ProjectedClusterSpec(
+            n_points=1000, dim=12, n_clusters=2, cluster_dim=4, noise_fraction=0.0
+        )
+        data = generate_projected_clusters(spec, rng)
+        ds = data.dataset
+        truth = data.clusters[0]
+        members = ds.points[ds.labels == 0]
+        # Variance inside the cluster subspace is tiny vs global.
+        in_sub = (members - truth.anchor) @ truth.basis.T
+        global_in_sub = (ds.points - truth.anchor) @ truth.basis.T
+        assert in_sub.var() < 0.05 * global_in_sub.var()
+
+    def test_cluster_spread_out_in_complement(self, rng):
+        spec = ProjectedClusterSpec(
+            n_points=800, dim=10, n_clusters=1, cluster_dim=3, noise_fraction=0.0
+        )
+        data = generate_projected_clusters(spec, rng)
+        ds = data.dataset
+        truth = data.clusters[0]
+        members = ds.points[ds.labels == 0]
+        # Pick a complement direction and check the spread is large.
+        comp = np.linalg.svd(truth.basis, full_matrices=True)[2][3:]
+        coords = members @ comp.T
+        assert coords.std() > 0.15  # uniform over the range
+
+    def test_axis_parallel_bases(self, rng):
+        spec = ProjectedClusterSpec(
+            n_points=100, dim=10, n_clusters=3, cluster_dim=4, axis_parallel=True
+        )
+        data = generate_projected_clusters(spec, rng)
+        for cluster in data.clusters:
+            nonzero = np.abs(cluster.basis) > 1e-12
+            assert np.all(nonzero.sum(axis=1) == 1)
+
+    def test_arbitrary_bases_orthonormal(self, rng):
+        spec = ProjectedClusterSpec(
+            n_points=100, dim=10, n_clusters=2, cluster_dim=4, axis_parallel=False
+        )
+        data = generate_projected_clusters(spec, rng)
+        for cluster in data.clusters:
+            gram = cluster.basis @ cluster.basis.T
+            assert np.allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_reproducible(self):
+        spec = ProjectedClusterSpec(n_points=200, dim=6, n_clusters=2, cluster_dim=2)
+        a = generate_projected_clusters(spec, np.random.default_rng(42))
+        b = generate_projected_clusters(spec, np.random.default_rng(42))
+        assert np.array_equal(a.dataset.points, b.dataset.points)
+
+
+class TestCannedWorkloads:
+    def test_case1_shape(self):
+        data = case1_dataset(np.random.default_rng(0), n_points=800)
+        assert data.dataset.dim == 20
+        assert data.spec.axis_parallel
+
+    def test_case2_shape(self):
+        data = case2_dataset(np.random.default_rng(0), n_points=800)
+        assert not data.spec.axis_parallel
+
+    def test_uniform(self):
+        ds = uniform_dataset(np.random.default_rng(0), n_points=300, dim=7)
+        assert ds.size == 300
+        assert ds.dim == 7
+        assert np.all(ds.labels == NOISE_LABEL)
+        assert ds.points.min() >= 0.0 and ds.points.max() <= 1.0
+
+    def test_uniform_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            uniform_dataset(rng, n_points=0)
+        with pytest.raises(ConfigurationError):
+            uniform_dataset(rng, low=1.0, high=0.0)
+
+    def test_gaussian_mixture(self):
+        ds = gaussian_mixture_dataset(np.random.default_rng(0), n_points=200, dim=5)
+        assert ds.size == 200
+        assert set(np.unique(ds.labels)) <= set(range(4))
+
+    def test_gaussian_mixture_validation(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_mixture_dataset(np.random.default_rng(0), n_components=0)

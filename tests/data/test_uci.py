@@ -1,0 +1,91 @@
+"""Unit tests for repro.data.uci (UCI stand-in generators)."""
+
+import numpy as np
+import pytest
+
+from repro.data.uci import (
+    ClassStructureSpec,
+    generate_class_structured,
+    ionosphere_like,
+    segmentation_like,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSpecValidation:
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ClassStructureSpec("x", 0, 5, (1.0,), 2)
+        with pytest.raises(ConfigurationError):
+            ClassStructureSpec("x", 10, 5, (1.0,), 6)
+        with pytest.raises(ConfigurationError):
+            ClassStructureSpec("x", 10, 5, (), 2)
+        with pytest.raises(ConfigurationError):
+            ClassStructureSpec("x", 10, 5, (1.0, -1.0), 2)
+        with pytest.raises(ConfigurationError):
+            ClassStructureSpec("x", 10, 5, (1.0,), 2, n_subclusters=0)
+
+
+class TestGenerator:
+    def test_sizes_and_proportions(self, rng):
+        spec = ClassStructureSpec("demo", 100, 8, (3.0, 1.0), 3)
+        ds = generate_class_structured(spec, rng)
+        sizes = ds.cluster_sizes()
+        assert sizes[0] == 75 and sizes[1] == 25
+
+    def test_fine_labels_refine_classes(self, rng):
+        spec = ClassStructureSpec("demo", 200, 8, (1.0, 1.0), 3, n_subclusters=2)
+        ds = generate_class_structured(spec, rng)
+        fine = ds.metadata["fine_labels"]
+        # Every fine label maps to exactly one class label.
+        for f in np.unique(fine):
+            classes = np.unique(ds.labels[fine == f])
+            assert classes.size == 1
+            assert classes[0] == f // 2
+
+    def test_shuffled(self, rng):
+        spec = ClassStructureSpec("demo", 200, 8, (1.0, 1.0), 3)
+        ds = generate_class_structured(spec, rng)
+        # Class blocks should be interleaved, not contiguous.
+        first_half = ds.labels[:100]
+        assert len(np.unique(first_half)) > 1
+
+    def test_reproducible(self):
+        spec = ClassStructureSpec("demo", 150, 8, (1.0, 1.0), 3)
+        a = generate_class_structured(spec, np.random.default_rng(5))
+        b = generate_class_structured(spec, np.random.default_rng(5))
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestStandIns:
+    def test_ionosphere_characteristics(self):
+        ds = ionosphere_like(np.random.default_rng(0))
+        assert ds.size == 351
+        assert ds.dim == 34
+        sizes = ds.cluster_sizes()
+        assert sizes[0] == 225 and sizes[1] == 126
+        assert "substitution" in ds.metadata
+
+    def test_segmentation_characteristics(self):
+        ds = segmentation_like(np.random.default_rng(0))
+        assert ds.size == 2310
+        assert ds.dim == 19
+        sizes = ds.cluster_sizes()
+        assert len(sizes) == 7
+        assert all(v == 330 for v in sizes.values())
+
+    def test_class_structure_confined_to_subspace(self):
+        """Within-class spread along signal axes is below the noise floor.
+
+        The generator's whole point: full-dimensional L2 is dominated by
+        nuisance attributes while classes stay separable in a small
+        subspace.  We verify a weaker, directly-testable consequence —
+        per-subcluster variance is far below global variance along at
+        least a few attributes.
+        """
+        ds = ionosphere_like(np.random.default_rng(0))
+        fine = ds.metadata["fine_labels"]
+        sub = ds.points[fine == fine[0]]
+        ratios = sub.var(axis=0) / ds.points.var(axis=0)
+        assert np.sort(ratios)[:3].max() < 0.5

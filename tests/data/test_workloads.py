@@ -1,0 +1,76 @@
+"""Unit tests for repro.data.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import NOISE_LABEL, Dataset
+from repro.data.workloads import (
+    QueryWorkload,
+    ionosphere_workload,
+    pick_cluster_queries,
+    segmentation_workload,
+    synthetic_case1_workload,
+    synthetic_case2_workload,
+    uniform_workload,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestPickClusterQueries:
+    def test_excludes_noise(self, small_clustered, rng):
+        ds = small_clustered.dataset
+        queries = pick_cluster_queries(ds, rng, count=20)
+        assert np.all(ds.labels[queries] != NOISE_LABEL)
+
+    def test_requires_labels(self, rng):
+        ds = Dataset(points=np.ones((5, 2)))
+        with pytest.raises(ConfigurationError):
+            pick_cluster_queries(ds, rng)
+
+    def test_count_clamped(self, rng):
+        points = np.random.default_rng(0).normal(size=(10, 2))
+        ds = Dataset(points=points, labels=np.zeros(10, dtype=int))
+        queries = pick_cluster_queries(ds, rng, count=50)
+        assert queries.size == 10
+
+    def test_all_noise_with_exclusion_raises(self, small_uniform, rng):
+        with pytest.raises(ConfigurationError):
+            pick_cluster_queries(small_uniform, rng, count=3)
+
+    def test_noise_allowed(self, small_uniform, rng):
+        queries = pick_cluster_queries(
+            small_uniform, rng, count=3, exclude_noise=False
+        )
+        assert queries.size == 3
+
+
+class TestCannedWorkloads:
+    def test_case1(self):
+        data, wl = synthetic_case1_workload(7, n_points=600, n_queries=4)
+        assert wl.dataset is data.dataset
+        assert wl.query_indices.size == 4
+        assert wl.queries.shape == (4, 20)
+
+    def test_case2(self):
+        data, wl = synthetic_case2_workload(11, n_points=600, n_queries=3)
+        assert wl.query_indices.size == 3
+
+    def test_uniform(self):
+        wl = uniform_workload(13, n_points=300, dim=8, n_queries=2)
+        assert wl.dataset.dim == 8
+        assert wl.query_indices.size == 2
+
+    def test_ionosphere(self):
+        wl = ionosphere_workload(17, n_queries=5)
+        assert wl.dataset.size == 351
+        assert wl.query_indices.size == 5
+
+    def test_segmentation(self):
+        wl = segmentation_workload(19, n_queries=5)
+        assert wl.dataset.size == 2310
+
+    def test_deterministic(self):
+        a = synthetic_case1_workload(7, n_points=400, n_queries=3)[1]
+        b = synthetic_case1_workload(7, n_points=400, n_queries=3)[1]
+        assert np.array_equal(a.query_indices, b.query_indices)
+        assert np.array_equal(a.dataset.points, b.dataset.points)

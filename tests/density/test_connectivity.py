@@ -1,0 +1,105 @@
+"""Unit tests for repro.density.connectivity (Definition 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.density.connectivity import (
+    MIN_CORNERS_ABOVE,
+    connected_region,
+    density_connected_points,
+    points_in_region,
+    region_count_at,
+)
+from repro.density.grid import DensityGrid
+from repro.exceptions import DimensionalityError
+
+
+@pytest.fixture
+def two_blob_grid(rng):
+    """Two well-separated blobs; query in the left one."""
+    left = np.array([0.2, 0.5]) + rng.normal(0, 0.02, size=(150, 2))
+    right = np.array([0.8, 0.5]) + rng.normal(0, 0.02, size=(150, 2))
+    points = np.vstack([left, right])
+    grid = DensityGrid(points, resolution=40)
+    return grid, points
+
+
+class TestConnectedRegion:
+    def test_query_region_contains_query_cell(self, two_blob_grid):
+        grid, _ = two_blob_grid
+        query = np.array([0.2, 0.5])
+        region = connected_region(grid, query, threshold=grid.density.max() * 0.05)
+        assert region.seeded
+        assert region.mask[region.query_cell]
+
+    def test_separated_blobs_excluded(self, two_blob_grid):
+        grid, points = two_blob_grid
+        query = np.array([0.2, 0.5])
+        tau = grid.density.max() * 0.05
+        region = connected_region(grid, query, tau)
+        member = points_in_region(grid, region, points)
+        # Left blob in, right blob out.
+        assert member[:150].mean() > 0.9
+        assert member[150:].mean() < 0.05
+
+    def test_query_in_sparse_area_not_seeded(self, two_blob_grid):
+        grid, _ = two_blob_grid
+        query = np.array([0.5, 0.5])  # the gap between blobs
+        tau = grid.density.max() * 0.2
+        region = connected_region(grid, query, tau)
+        assert not region.seeded
+        assert region.is_empty
+        assert region.cell_count == 0
+
+    def test_zero_threshold_connects_everything(self, two_blob_grid):
+        grid, points = two_blob_grid
+        query = np.array([0.2, 0.5])
+        region = connected_region(grid, query, threshold=0.0)
+        member = points_in_region(grid, region, points)
+        # With tau=0 every rectangle qualifies, so all points join.
+        assert member.all()
+
+    def test_monotone_in_threshold(self, two_blob_grid):
+        grid, points = two_blob_grid
+        query = np.array([0.2, 0.5])
+        peak = grid.density.max()
+        sizes = []
+        for tau in (0.01 * peak, 0.1 * peak, 0.5 * peak):
+            idx = density_connected_points(grid, query, tau, points)
+            sizes.append(idx.size)
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_query_must_be_2d(self, two_blob_grid):
+        grid, _ = two_blob_grid
+        with pytest.raises(DimensionalityError):
+            connected_region(grid, np.zeros(3), 0.1)
+
+    def test_points_must_be_2d(self, two_blob_grid):
+        grid, _ = two_blob_grid
+        region = connected_region(grid, np.array([0.2, 0.5]), 0.0)
+        with pytest.raises(DimensionalityError):
+            points_in_region(grid, region, np.zeros((5, 3)))
+
+    def test_empty_region_membership(self, two_blob_grid):
+        grid, points = two_blob_grid
+        region = connected_region(grid, np.array([0.5, 0.5]), grid.density.max())
+        member = points_in_region(grid, region, points)
+        assert not member.any()
+
+    def test_min_corners_constant(self):
+        assert MIN_CORNERS_ABOVE == 3
+
+
+class TestRegionCount:
+    def test_two_blobs_two_regions(self, two_blob_grid):
+        grid, _ = two_blob_grid
+        tau = grid.density.max() * 0.1
+        assert region_count_at(grid, tau) == 2
+
+    def test_zero_threshold_one_region(self, two_blob_grid):
+        grid, _ = two_blob_grid
+        assert region_count_at(grid, 0.0) == 1
+
+    def test_above_peak_zero_regions(self, two_blob_grid):
+        grid, _ = two_blob_grid
+        assert region_count_at(grid, grid.density.max() * 2) == 0

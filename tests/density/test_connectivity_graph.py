@@ -1,0 +1,90 @@
+"""Unit tests for exact point-level density connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.density.connectivity_graph import (
+    exact_density_connected,
+    grid_vs_exact_agreement,
+)
+from repro.density.kde import KernelDensityEstimator
+from repro.exceptions import ConfigurationError, DimensionalityError
+
+
+@pytest.fixture
+def two_blobs(rng):
+    left = np.array([0.2, 0.5]) + rng.normal(0, 0.02, size=(120, 2))
+    right = np.array([0.8, 0.5]) + rng.normal(0, 0.02, size=(120, 2))
+    return np.vstack([left, right])
+
+
+class TestExactConnectivity:
+    def test_separates_blobs(self, two_blobs):
+        query = np.array([0.2, 0.5])
+        kde = KernelDensityEstimator(two_blobs)
+        tau = 0.1 * kde.evaluate(query)
+        region = exact_density_connected(two_blobs, query, tau)
+        assert region.query_qualifies
+        assert region.member_mask[:120].mean() > 0.9
+        assert region.member_mask[120:].mean() < 0.05
+
+    def test_query_below_threshold_empty(self, two_blobs):
+        query = np.array([0.5, 0.5])  # the gap
+        kde = KernelDensityEstimator(two_blobs)
+        tau = 0.5 * kde.evaluate(np.array([0.2, 0.5]))
+        region = exact_density_connected(two_blobs, query, tau)
+        assert not region.query_qualifies
+        assert region.member_count == 0
+
+    def test_zero_threshold_connects_by_radius(self, two_blobs):
+        """At tau=0 everything qualifies; connectivity is radius-limited."""
+        query = np.array([0.2, 0.5])
+        region = exact_density_connected(two_blobs, query, 0.0, radius=0.05)
+        # The gap between blobs exceeds the small radius.
+        assert region.member_mask[:120].mean() > 0.9
+        assert region.member_mask[120:].mean() < 0.05
+
+    def test_large_radius_merges(self, two_blobs):
+        query = np.array([0.2, 0.5])
+        region = exact_density_connected(two_blobs, query, 0.0, radius=1.0)
+        assert region.member_mask.all()
+
+    def test_validation(self, two_blobs):
+        with pytest.raises(DimensionalityError):
+            exact_density_connected(two_blobs, np.zeros(3), 0.1)
+        with pytest.raises(DimensionalityError):
+            exact_density_connected(np.zeros(5), np.zeros(1), 0.1)
+        with pytest.raises(ConfigurationError):
+            exact_density_connected(two_blobs, np.zeros(2), 0.1, radius=0.0)
+
+    def test_higher_dimensional_points(self, rng):
+        """Definition 2.1 is dimension-agnostic; 3-D works too."""
+        blob = rng.normal(0, 0.05, size=(80, 3))
+        far = rng.normal(3, 0.05, size=(80, 3))
+        points = np.vstack([blob, far])
+        kde = KernelDensityEstimator(points)
+        tau = 0.1 * kde.evaluate(np.zeros(3))
+        region = exact_density_connected(points, np.zeros(3), tau)
+        assert region.member_mask[:80].mean() > 0.8
+        assert region.member_mask[80:].mean() < 0.1
+
+
+class TestGridAgreement:
+    def test_high_agreement_on_crisp_blobs(self, two_blobs):
+        query = np.array([0.2, 0.5])
+        kde = KernelDensityEstimator(two_blobs)
+        tau = 0.1 * float(kde.evaluate(query))
+        agreement = grid_vs_exact_agreement(
+            two_blobs, query, tau, resolution=50
+        )
+        assert agreement > 0.8
+
+    def test_agreement_bounded(self, rng):
+        points = rng.uniform(size=(150, 2))
+        agreement = grid_vs_exact_agreement(points, points[0], 0.01)
+        assert 0.0 <= agreement <= 1.0
+
+    def test_both_empty_is_perfect_agreement(self, two_blobs):
+        query = np.array([0.5, 0.5])
+        agreement = grid_vs_exact_agreement(two_blobs, query, 1e9)
+        assert agreement == 1.0

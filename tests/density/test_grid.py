@@ -1,0 +1,113 @@
+"""Unit tests for repro.density.grid."""
+
+import numpy as np
+import pytest
+
+from repro.density.grid import DensityGrid, GridBounds
+from repro.exceptions import ConfigurationError, DimensionalityError
+
+
+class TestGridBounds:
+    def test_contains(self):
+        b = GridBounds(0.0, 1.0, 0.0, 2.0)
+        assert b.contains(np.array([0.5, 1.0]))
+        assert not b.contains(np.array([1.5, 1.0]))
+        assert b.width == 1.0 and b.height == 2.0
+
+
+class TestDensityGrid:
+    def test_density_shape(self, blob_2d):
+        points, _ = blob_2d
+        grid = DensityGrid(points, resolution=20)
+        assert grid.density.shape == (20, 20)
+        assert grid.cell_count == 19 * 19
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(DimensionalityError):
+            DensityGrid(rng.normal(size=(10, 3)))
+
+    def test_resolution_minimum(self, blob_2d):
+        with pytest.raises(ConfigurationError):
+            DensityGrid(blob_2d[0], resolution=1)
+
+    def test_bounds_cover_points(self, blob_2d):
+        points, _ = blob_2d
+        grid = DensityGrid(points)
+        for pt in points[:20]:
+            assert grid.bounds.contains(pt)
+
+    def test_include_extends_bounds(self, blob_2d):
+        points, _ = blob_2d
+        outside = np.array([5.0, 5.0])
+        grid = DensityGrid(points, include=outside)
+        assert grid.bounds.contains(outside)
+
+    def test_peak_near_blob(self, blob_2d):
+        points, center = blob_2d
+        grid = DensityGrid(points, resolution=30)
+        i, j = np.unravel_index(np.argmax(grid.density), grid.density.shape)
+        peak_xy = np.array([grid.grid_x[i], grid.grid_y[j]])
+        assert np.linalg.norm(peak_xy - center) < 0.15
+
+    def test_cell_of_consistency(self, blob_2d):
+        points, _ = blob_2d
+        grid = DensityGrid(points, resolution=15)
+        for pt in points[:30]:
+            i, j = grid.cell_of(pt)
+            assert grid.grid_x[i] <= pt[0] <= grid.grid_x[i + 1] + 1e-12
+            assert grid.grid_y[j] <= pt[1] <= grid.grid_y[j + 1] + 1e-12
+
+    def test_cell_of_clamps_outside(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        i, j = grid.cell_of(np.array([99.0, -99.0]))
+        assert i == 8 and j == 0
+
+    def test_cells_of_matches_cell_of(self, blob_2d):
+        points, _ = blob_2d
+        grid = DensityGrid(points, resolution=12)
+        batch = grid.cells_of(points[:25])
+        singles = np.array([grid.cell_of(p) for p in points[:25]])
+        assert np.array_equal(batch, singles)
+
+    def test_corner_densities(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        corners = grid.corner_densities(3, 4)
+        d = grid.density
+        assert np.allclose(
+            corners, [d[3, 4], d[4, 4], d[3, 5], d[4, 5]]
+        )
+
+    def test_corner_densities_out_of_range(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        with pytest.raises(ConfigurationError):
+            grid.corner_densities(9, 0)
+
+    def test_corners_above_counts(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        counts = grid.corners_above(-1.0)
+        assert np.all(counts == 4)
+        counts_hi = grid.corners_above(np.inf)
+        assert np.all(counts_hi == 0)
+
+    def test_interpolate_matches_grid_at_nodes(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        node = np.array([grid.grid_x[4], grid.grid_y[6]])
+        assert grid.interpolate(node) == pytest.approx(grid.density[4, 6], rel=1e-9)
+
+    def test_interpolate_between_nodes_bounded(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        mid = np.array(
+            [
+                (grid.grid_x[2] + grid.grid_x[3]) / 2,
+                (grid.grid_y[2] + grid.grid_y[3]) / 2,
+            ]
+        )
+        val = grid.interpolate(mid)
+        cell = grid.corner_densities(2, 2)
+        assert cell.min() - 1e-12 <= val <= cell.max() + 1e-12
+
+    def test_density_at_exact_kde(self, blob_2d):
+        points, center = blob_2d
+        grid = DensityGrid(points, resolution=10)
+        exact = grid.estimator.evaluate(center[np.newaxis, :])[0]
+        assert grid.density_at(center[np.newaxis, :])[0] == pytest.approx(exact)

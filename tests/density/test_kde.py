@@ -1,0 +1,133 @@
+"""Unit tests for repro.density.kde."""
+
+import numpy as np
+import pytest
+
+from repro.density.kde import KernelDensityEstimator
+from repro.density.kernels import epanechnikov_kernel
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionalityError,
+    EmptyDatasetError,
+)
+
+
+class TestConstruction:
+    def test_default_bandwidth_is_silverman(self, rng):
+        pts = rng.normal(size=(100, 2))
+        kde = KernelDensityEstimator(pts)
+        assert kde.bandwidth.shape == (2,)
+        assert np.all(kde.bandwidth > 0)
+
+    def test_scalar_bandwidth_broadcast(self, rng):
+        kde = KernelDensityEstimator(rng.normal(size=(10, 3)), bandwidth=0.5)
+        assert np.allclose(kde.bandwidth, 0.5)
+
+    def test_explicit_vector_bandwidth(self, rng):
+        kde = KernelDensityEstimator(
+            rng.normal(size=(10, 2)), bandwidth=[0.1, 0.2]
+        )
+        assert np.allclose(kde.bandwidth, [0.1, 0.2])
+
+    def test_wrong_bandwidth_length(self, rng):
+        with pytest.raises(ConfigurationError):
+            KernelDensityEstimator(rng.normal(size=(10, 2)), bandwidth=[0.1] * 3)
+
+    def test_nonpositive_bandwidth(self, rng):
+        with pytest.raises(ConfigurationError):
+            KernelDensityEstimator(rng.normal(size=(10, 2)), bandwidth=0.0)
+
+    def test_empty_points(self):
+        with pytest.raises(EmptyDatasetError):
+            KernelDensityEstimator(np.zeros((0, 2)))
+
+    def test_1d_points_promoted(self, rng):
+        kde = KernelDensityEstimator(rng.normal(size=20))
+        assert kde.dim == 1
+
+
+class TestEvaluate:
+    def test_density_positive_near_data(self, rng):
+        pts = rng.normal(size=(200, 2))
+        kde = KernelDensityEstimator(pts)
+        assert kde.evaluate(np.zeros(2)) > 0
+
+    def test_density_higher_at_mode(self, rng):
+        pts = rng.normal(0.0, 0.1, size=(300, 2))
+        kde = KernelDensityEstimator(pts)
+        assert kde.evaluate(np.zeros(2)) > kde.evaluate(np.array([2.0, 2.0]))
+
+    def test_integrates_to_one_1d(self, rng):
+        pts = rng.normal(size=(100, 1))
+        kde = KernelDensityEstimator(pts)
+        grid = np.linspace(-6, 6, 2001)[:, np.newaxis]
+        total = np.trapezoid(kde.evaluate(grid), grid[:, 0])
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_matches_manual_sum(self):
+        pts = np.array([[0.0], [1.0]])
+        kde = KernelDensityEstimator(pts, bandwidth=1.0)
+        where = np.array([[0.5]])
+        norm = 1.0 / np.sqrt(2 * np.pi)
+        expected = 0.5 * (norm * np.exp(-0.125) + norm * np.exp(-0.125))
+        assert kde.evaluate(where)[0] == pytest.approx(expected)
+
+    def test_batching_consistent(self, rng):
+        pts = rng.normal(size=(50, 2))
+        kde = KernelDensityEstimator(pts)
+        where = rng.normal(size=(100, 2))
+        assert np.allclose(
+            kde.evaluate(where, batch_size=7), kde.evaluate(where, batch_size=1000)
+        )
+
+    def test_dim_mismatch(self, rng):
+        kde = KernelDensityEstimator(rng.normal(size=(10, 2)))
+        with pytest.raises(DimensionalityError):
+            kde.evaluate(np.zeros((5, 3)))
+
+    def test_compact_kernel(self, rng):
+        pts = rng.normal(size=(50, 1))
+        kde = KernelDensityEstimator(pts, kernel=epanechnikov_kernel)
+        assert kde.evaluate(np.array([100.0])) == 0.0
+
+
+class TestGridEvaluation:
+    def test_matches_pointwise(self, rng):
+        pts = rng.normal(size=(60, 2))
+        kde = KernelDensityEstimator(pts)
+        gx = np.linspace(-2, 2, 9)
+        gy = np.linspace(-2, 2, 7)
+        grid = kde.evaluate_on_grid(gx, gy)
+        assert grid.shape == (9, 7)
+        where = np.array([[gx[3], gy[5]]])
+        assert grid[3, 5] == pytest.approx(kde.evaluate(where)[0])
+
+    def test_requires_2d(self, rng):
+        kde = KernelDensityEstimator(rng.normal(size=(10, 3)))
+        with pytest.raises(DimensionalityError):
+            kde.evaluate_on_grid(np.linspace(0, 1, 5), np.linspace(0, 1, 5))
+
+
+class TestLateralSampling:
+    def test_sample_count_and_shape(self, rng):
+        pts = rng.normal(size=(100, 2))
+        kde = KernelDensityEstimator(pts)
+        samples = kde.sample_lateral(500, rng)
+        assert samples.shape == (500, 2)
+
+    def test_samples_concentrate_on_mode(self, rng):
+        blob = rng.normal(0.0, 0.05, size=(300, 2))
+        kde = KernelDensityEstimator(blob)
+        samples = kde.sample_lateral(400, rng)
+        # Most fictitious points should land near the blob.
+        near = np.linalg.norm(samples, axis=1) < 0.5
+        assert near.mean() > 0.9
+
+    def test_zero_count(self, rng):
+        kde = KernelDensityEstimator(rng.normal(size=(10, 2)))
+        assert kde.sample_lateral(0, rng).shape == (0, 2)
+
+    def test_requires_2d(self, rng):
+        kde = KernelDensityEstimator(rng.normal(size=(10, 3)))
+        with pytest.raises(DimensionalityError):
+            kde.sample_lateral(10, rng)

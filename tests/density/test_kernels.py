@@ -1,0 +1,125 @@
+"""Unit tests for repro.density.kernels and bandwidth rules."""
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+
+from repro.density.bandwidth import (
+    bandwidth_rule_names,
+    get_bandwidth_rule,
+    robust_silverman_bandwidth,
+    scott_bandwidth,
+    silverman_bandwidth,
+)
+from repro.density.kernels import (
+    epanechnikov_kernel,
+    gaussian_kernel,
+    get_kernel,
+    kernel_names,
+    triangular_kernel,
+    uniform_kernel,
+)
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+
+ALL_KERNELS = [
+    gaussian_kernel,
+    epanechnikov_kernel,
+    triangular_kernel,
+    uniform_kernel,
+]
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_integrates_to_one_1d(self, kernel):
+        total, _ = quad(lambda u: float(kernel(np.array([u]))), -10, 10)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_nonnegative(self, kernel):
+        u = np.linspace(-3, 3, 101)[:, np.newaxis]
+        assert np.all(kernel(u) >= 0)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_symmetric(self, kernel):
+        u = np.linspace(0.0, 2.0, 21)[:, np.newaxis]
+        assert np.allclose(kernel(u), kernel(-u))
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_peak_at_origin(self, kernel):
+        origin = kernel(np.zeros((1, 1)))[0]
+        elsewhere = kernel(np.full((1, 1), 0.9))[0]
+        assert origin >= elsewhere
+
+    def test_product_form_2d(self):
+        u = np.array([[0.5, -0.3]])
+        expected = (
+            gaussian_kernel(np.array([[0.5]])) * gaussian_kernel(np.array([[-0.3]]))
+        )
+        assert np.allclose(gaussian_kernel(u), expected)
+
+    def test_compact_support(self):
+        u = np.array([[1.5]])
+        assert epanechnikov_kernel(u)[0] == 0.0
+        assert triangular_kernel(u)[0] == 0.0
+        assert uniform_kernel(u)[0] == 0.0
+
+    def test_get_kernel(self):
+        assert get_kernel("gaussian") is gaussian_kernel
+        assert get_kernel("EPANECHNIKOV") is epanechnikov_kernel
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_kernel("mystery")
+
+    def test_kernel_names_sorted(self):
+        names = kernel_names()
+        assert names == sorted(names)
+        assert "gaussian" in names
+
+
+class TestBandwidth:
+    def test_silverman_formula(self):
+        rng = np.random.default_rng(20)
+        pts = rng.normal(size=(100, 1))
+        h = silverman_bandwidth(pts)
+        expected = 1.06 * pts.std(ddof=1) * 100 ** (-0.2)
+        assert h[0] == pytest.approx(expected)
+
+    def test_per_dimension(self):
+        rng = np.random.default_rng(21)
+        pts = rng.normal(size=(200, 2)) * np.array([1.0, 10.0])
+        h = silverman_bandwidth(pts)
+        assert h[1] > h[0] * 5
+
+    def test_floor_on_degenerate_dimension(self):
+        pts = np.column_stack([np.ones(50), np.linspace(0, 1, 50)])
+        h = silverman_bandwidth(pts)
+        assert h[0] > 0
+
+    def test_1d_input(self):
+        h = silverman_bandwidth(np.linspace(0, 1, 30))
+        assert h.shape == (1,)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            silverman_bandwidth(np.zeros((0, 2)))
+
+    def test_robust_not_larger_than_plain_for_outliers(self):
+        rng = np.random.default_rng(22)
+        pts = np.concatenate([rng.normal(size=95), np.full(5, 50.0)])
+        assert robust_silverman_bandwidth(pts)[0] <= silverman_bandwidth(pts)[0]
+
+    def test_scott_positive(self):
+        rng = np.random.default_rng(23)
+        assert np.all(scott_bandwidth(rng.normal(size=(40, 3))) > 0)
+
+    def test_rule_registry(self):
+        assert get_bandwidth_rule("silverman") is silverman_bandwidth
+        assert "scott" in bandwidth_rule_names()
+        with pytest.raises(ConfigurationError):
+            get_bandwidth_rule("nope")
+
+    def test_single_point_fallback(self):
+        h = silverman_bandwidth(np.array([[1.0, 2.0]]))
+        assert np.all(h > 0)

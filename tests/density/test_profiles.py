@@ -1,0 +1,135 @@
+"""Unit tests for repro.density.profiles and separators."""
+
+import numpy as np
+import pytest
+
+from repro.density.grid import DensityGrid
+from repro.density.profiles import (
+    LateralDensityPlot,
+    VisualProfile,
+    compute_profile_statistics,
+)
+from repro.density.separators import (
+    DensitySeparator,
+    PolygonalSeparator,
+    RejectView,
+)
+from repro.exceptions import ConfigurationError, DimensionalityError
+
+
+class TestVisualProfile:
+    def test_build_and_statistics(self, blob_2d):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center, resolution=30)
+        stats = profile.statistics
+        assert stats.query_percentile > 0.9  # query on the peak
+        assert stats.peak_to_median > 2.0
+        assert stats.query_density > stats.median_density
+
+    def test_query_off_peak(self, blob_2d):
+        points, _ = blob_2d
+        corner = np.array([0.02, 0.02])
+        profile = VisualProfile.build(points, corner, resolution=30)
+        assert profile.statistics.query_density < profile.statistics.peak_density / 3
+
+    def test_query_must_be_2_vector(self, blob_2d):
+        with pytest.raises(DimensionalityError):
+            VisualProfile.build(blob_2d[0], np.zeros(3))
+
+    def test_bandwidth_scale_sharpens(self, blob_2d):
+        points, center = blob_2d
+        smooth = VisualProfile.build(points, center, bandwidth_scale=1.0)
+        sharp = VisualProfile.build(points, center, bandwidth_scale=0.3)
+        assert (
+            sharp.statistics.peak_to_median > smooth.statistics.peak_to_median
+        )
+
+    def test_query_cluster_indices(self, blob_2d):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center, resolution=40)
+        tau = profile.statistics.peak_density * 0.2
+        idx = profile.query_cluster_indices(points, tau)
+        # Mostly blob points (the first 200).
+        assert idx.size > 50
+        assert np.mean(idx < 200) > 0.9
+
+    def test_cluster_size_curve_monotone(self, blob_2d):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center, resolution=30)
+        taus = np.linspace(0.01, profile.statistics.peak_density, 8)
+        sizes = profile.cluster_size_curve(points, taus)
+        assert np.all(np.diff(sizes) <= 0)
+
+
+class TestProfileStatistics:
+    def test_statistics_fields(self, blob_2d):
+        points, center = blob_2d
+        grid = DensityGrid(points, resolution=20, include=center)
+        stats = compute_profile_statistics(grid, center)
+        assert 0.0 <= stats.query_percentile <= 1.0
+        assert stats.peak_density >= stats.median_density
+
+
+class TestLateralDensityPlot:
+    def test_build(self, blob_2d, rng):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center)
+        plot = LateralDensityPlot.build(profile, rng, count=500)
+        assert plot.samples.shape == (500, 2)
+        assert np.allclose(plot.query_2d, center)
+
+
+class TestSeparators:
+    def test_density_separator_selects_cluster(self, blob_2d):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center, resolution=40)
+        sep = DensitySeparator(profile.statistics.peak_density * 0.2)
+        mask = sep.select(profile.grid, center, points)
+        assert mask[:200].mean() > 0.8
+        assert mask[200:].mean() < 0.3
+
+    def test_reject_view_selects_nothing(self, blob_2d):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center)
+        mask = RejectView().select(profile.grid, center, points)
+        assert not mask.any()
+
+    def test_polygonal_separator_halfplane(self, blob_2d):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center)
+        # A vertical line at x = 0.5; query at 0.5 -> on boundary side.
+        sep = PolygonalSeparator.from_lines([((1.0, 0.0), 0.45)])
+        mask = sep.select(profile.grid, center, points)
+        selected = points[mask]
+        assert np.all(selected[:, 0] >= 0.45)
+
+    def test_polygonal_no_lines_selects_all(self, blob_2d):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center)
+        sep = PolygonalSeparator.from_lines([])
+        assert sep.select(profile.grid, center, points).all()
+
+    def test_polygonal_two_lines_quadrant(self, blob_2d):
+        points, center = blob_2d
+        profile = VisualProfile.build(points, center)
+        sep = PolygonalSeparator.from_lines(
+            [((1.0, 0.0), 0.4), ((0.0, 1.0), 0.4)]
+        )
+        mask = sep.select(profile.grid, center, points)
+        selected = points[mask]
+        assert np.all(selected[:, 0] >= 0.4)
+        assert np.all(selected[:, 1] >= 0.4)
+
+    def test_polygonal_invalid_normal(self):
+        with pytest.raises(ConfigurationError):
+            PolygonalSeparator.from_lines([((0.0, 0.0), 1.0)])
+
+    def test_polygonal_wrong_dim(self):
+        with pytest.raises(DimensionalityError):
+            PolygonalSeparator.from_lines([((1.0, 0.0, 0.0), 1.0)])
+
+    def test_polygonal_normalizes(self):
+        sep = PolygonalSeparator.from_lines([((2.0, 0.0), 1.0)])
+        normal, offset = sep.lines[0]
+        assert normal == (1.0, 0.0)
+        assert offset == 0.5

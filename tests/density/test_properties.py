@@ -1,0 +1,75 @@
+"""Property-based tests for the density substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.density.connectivity import connected_region, points_in_region
+from repro.density.grid import DensityGrid
+from repro.density.kde import KernelDensityEstimator
+
+
+@st.composite
+def point_clouds(draw):
+    """Small random 2-D point clouds with a seed for reproducibility."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=10, max_value=80))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(n, 2))
+
+
+@given(point_clouds())
+@settings(max_examples=25, deadline=None)
+def test_kde_nonnegative_everywhere(points):
+    kde = KernelDensityEstimator(points)
+    rng = np.random.default_rng(0)
+    where = rng.uniform(-1.0, 2.0, size=(40, 2))
+    assert np.all(kde.evaluate(where) >= 0)
+
+
+@given(point_clouds(), st.integers(min_value=3, max_value=25))
+@settings(max_examples=25, deadline=None)
+def test_grid_density_matches_estimator(points, resolution):
+    grid = DensityGrid(points, resolution=resolution)
+    # Every grid value equals the KDE evaluated at that node.
+    i, j = resolution // 2, resolution // 3
+    node = np.array([[grid.grid_x[i], grid.grid_y[j]]])
+    assert np.isclose(grid.density[i, j], grid.estimator.evaluate(node)[0])
+
+
+@given(point_clouds(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=25, deadline=None)
+def test_region_membership_monotone_in_threshold(points, frac):
+    """A higher separator never admits more points (anti-monotone)."""
+    grid = DensityGrid(points, resolution=15)
+    query = points[0]
+    peak = grid.density.max()
+    lo_region = connected_region(grid, query, frac * peak * 0.5)
+    hi_region = connected_region(grid, query, frac * peak)
+    lo = points_in_region(grid, lo_region, points)
+    hi = points_in_region(grid, hi_region, points)
+    # Everything in the high-threshold region is in the low-threshold one.
+    assert np.all(lo[hi])
+
+
+@given(point_clouds())
+@settings(max_examples=25, deadline=None)
+def test_region_mask_shape_and_query_membership(points):
+    grid = DensityGrid(points, resolution=12)
+    query = points[0]
+    region = connected_region(grid, query, 0.0)
+    assert region.mask.shape == (11, 11)
+    member = points_in_region(grid, region, query[np.newaxis, :])
+    assert member[0]  # at tau=0 the query's own cell always qualifies
+
+
+@given(point_clouds(), st.integers(min_value=1, max_value=300))
+@settings(max_examples=20, deadline=None)
+def test_lateral_samples_stay_near_grid(points, count):
+    kde = KernelDensityEstimator(points)
+    samples = kde.sample_lateral(count, np.random.default_rng(1))
+    assert samples.shape == (count, 2)
+    # Samples stay within a generously padded bounding box.
+    lo = points.min(axis=0) - 0.5
+    hi = points.max(axis=0) + 0.5
+    assert np.all(samples >= lo) and np.all(samples <= hi)

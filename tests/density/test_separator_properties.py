@@ -1,0 +1,87 @@
+"""Property-based tests for separators and threshold-sweep machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.density.grid import DensityGrid
+from repro.density.separators import DensitySeparator, PolygonalSeparator
+
+
+@st.composite
+def views(draw):
+    """A random 2-D point cloud with a blob, plus its density grid."""
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    rng = np.random.default_rng(seed)
+    blob = rng.normal(0.4, 0.05, size=(60, 2))
+    noise = rng.uniform(0, 1, size=(60, 2))
+    points = np.vstack([blob, noise])
+    query = blob[0]
+    grid = DensityGrid(points, resolution=18, include=query)
+    return grid, points, query
+
+
+@given(views(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_density_separator_antimonotone(view, frac):
+    """Raising the separator never admits more points."""
+    grid, points, query = view
+    peak = grid.density.max()
+    lo = DensitySeparator(frac * peak * 0.5).select(grid, query, points)
+    hi = DensitySeparator(frac * peak).select(grid, query, points)
+    assert np.all(lo[hi])  # hi-selection is a subset of lo-selection
+
+
+@given(views())
+@settings(max_examples=30, deadline=None)
+def test_density_separator_at_zero_selects_all(view):
+    grid, points, query = view
+    mask = DensitySeparator(0.0).select(grid, query, points)
+    assert mask.all()
+
+
+@given(views())
+@settings(max_examples=30, deadline=None)
+def test_density_separator_above_peak_selects_none(view):
+    grid, points, query = view
+    mask = DensitySeparator(grid.density.max() * 2).select(grid, query, points)
+    assert not mask.any()
+
+
+@given(
+    views(),
+    st.floats(min_value=-0.5, max_value=0.5),
+    st.floats(min_value=-0.5, max_value=0.5),
+)
+@settings(max_examples=30, deadline=None)
+def test_polygonal_separator_always_keeps_query_side(view, nx, ny):
+    """The query's own half-plane signature always matches itself, so
+    any point equal to the query is always selected."""
+    grid, points, query = view
+    if abs(nx) + abs(ny) < 1e-6:
+        return
+    separator = PolygonalSeparator.from_lines(
+        [((nx, ny), nx * query[0] + ny * query[1] - 0.1)]
+    )
+    with_query = np.vstack([points, query])
+    mask = separator.select(grid, query, with_query)
+    assert mask[-1]
+
+
+@given(views(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_polygonal_more_lines_never_select_more(view, n_lines):
+    """Adding separating lines can only shrink the selected region."""
+    grid, points, query = view
+    rng = np.random.default_rng(n_lines)
+    lines = []
+    previous_mask = np.ones(points.shape[0], dtype=bool)
+    for _ in range(n_lines):
+        normal = rng.normal(size=2)
+        offset = float(normal @ query) - abs(rng.normal()) * 0.2
+        lines.append(((float(normal[0]), float(normal[1])), offset))
+        mask = PolygonalSeparator.from_lines(lines).select(
+            grid, query, points
+        )
+        assert np.all(previous_mask[mask])
+        previous_mask = mask

@@ -1,0 +1,144 @@
+"""Unit tests for repro.geometry.distances."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionalityError
+from repro.geometry.distances import (
+    chebyshev_distance,
+    euclidean_distance,
+    fractional_distance,
+    get_metric,
+    k_smallest_indices,
+    manhattan_distance,
+    minkowski_distance,
+    nearest_neighbors,
+    projected_distance,
+    projected_distances_to_query,
+)
+from repro.geometry.subspace import Subspace
+
+
+class TestMetrics:
+    def setup_method(self):
+        self.points = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        self.query = np.array([0.0, 0.0])
+
+    def test_euclidean(self):
+        d = euclidean_distance(self.points, self.query)
+        assert np.allclose(d, [0.0, 5.0, np.sqrt(2.0)])
+
+    def test_manhattan(self):
+        d = manhattan_distance(self.points, self.query)
+        assert np.allclose(d, [0.0, 7.0, 2.0])
+
+    def test_chebyshev(self):
+        d = chebyshev_distance(self.points, self.query)
+        assert np.allclose(d, [0.0, 4.0, 1.0])
+
+    def test_minkowski_matches_euclidean_at_p2(self):
+        d2 = minkowski_distance(self.points, self.query, 2.0)
+        assert np.allclose(d2, euclidean_distance(self.points, self.query))
+
+    def test_fractional(self):
+        d = fractional_distance(np.array([[1.0, 1.0]]), np.zeros(2), p=0.5)
+        assert np.allclose(d, 4.0)  # (1 + 1)^2
+
+    def test_fractional_requires_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            fractional_distance(self.points, self.query, p=1.5)
+
+    def test_minkowski_nonpositive_p(self):
+        with pytest.raises(ConfigurationError):
+            minkowski_distance(self.points, self.query, 0.0)
+
+    def test_single_point_input(self):
+        d = euclidean_distance(np.array([1.0, 0.0]), np.zeros(2))
+        assert np.allclose(d, [1.0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            euclidean_distance(self.points, np.zeros(3))
+
+    def test_query_must_be_1d(self):
+        with pytest.raises(DimensionalityError):
+            euclidean_distance(self.points, np.zeros((1, 2)))
+
+
+class TestGetMetric:
+    def test_known_names(self):
+        for name in ("euclidean", "l2", "manhattan", "l1", "chebyshev", "linf"):
+            fn = get_metric(name)
+            assert callable(fn)
+
+    def test_numeric_lp(self):
+        fn = get_metric("l0.5")
+        d = fn(np.array([[1.0, 1.0]]), np.zeros(2))
+        assert np.allclose(d, 4.0)
+
+    def test_case_insensitive(self):
+        assert get_metric("L2") is get_metric("l2")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_metric("cosine")
+
+
+class TestProjectedDistance:
+    def test_projected_matches_manual(self):
+        sub = Subspace.from_axes([0], 3)
+        x1 = np.array([1.0, 9.0, 9.0])
+        x2 = np.array([4.0, -9.0, -9.0])
+        assert projected_distance(x1, x2, sub) == pytest.approx(3.0)
+
+    def test_projected_distances_to_query(self):
+        sub = Subspace.from_axes([1], 2)
+        points = np.array([[0.0, 1.0], [0.0, 5.0]])
+        d = projected_distances_to_query(points, np.zeros(2), sub)
+        assert np.allclose(d, [1.0, 5.0])
+
+    def test_full_subspace_equals_plain_distance(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(10, 5))
+        query = rng.normal(size=5)
+        sub = Subspace.full(5)
+        assert np.allclose(
+            projected_distances_to_query(points, query, sub),
+            euclidean_distance(points, query),
+        )
+
+
+class TestKSmallest:
+    def test_basic(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0])
+        assert k_smallest_indices(values, 2).tolist() == [1, 3]
+
+    def test_k_zero(self):
+        assert k_smallest_indices(np.array([1.0]), 0).size == 0
+
+    def test_k_exceeds_n(self):
+        idx = k_smallest_indices(np.array([2.0, 1.0]), 10)
+        assert idx.tolist() == [1, 0]
+
+    def test_deterministic_ties(self):
+        values = np.array([1.0, 1.0, 1.0])
+        assert k_smallest_indices(values, 2).tolist() == [0, 1]
+
+
+class TestNearestNeighbors:
+    def test_sorted_by_distance(self):
+        points = np.array([[3.0], [1.0], [2.0]])
+        idx, dists = nearest_neighbors(points, np.zeros(1), 3)
+        assert idx.tolist() == [1, 2, 0]
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_respects_metric(self):
+        points = np.array([[1.0, 1.0], [1.5, 0.0]])
+        idx_l1, _ = nearest_neighbors(
+            points, np.zeros(2), 1, metric=manhattan_distance
+        )
+        idx_linf, _ = nearest_neighbors(
+            points, np.zeros(2), 1, metric=chebyshev_distance
+        )
+        assert idx_l1[0] == 1  # L1: 2.0 vs 1.5
+        assert idx_linf[0] == 0  # Linf: 1.0 vs 1.5

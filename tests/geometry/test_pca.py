@@ -1,0 +1,114 @@
+"""Unit tests for repro.geometry.pca."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError, EmptyDatasetError
+from repro.geometry.pca import (
+    axis_discrimination_ratios,
+    covariance_matrix,
+    discrimination_ratios,
+    principal_components,
+    variance_along_directions,
+)
+
+
+class TestCovariance:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(50, 4))
+        ours = covariance_matrix(pts)
+        theirs = np.cov(pts.T, bias=True)
+        assert np.allclose(ours, theirs)
+
+    def test_single_point_is_zero(self):
+        cov = covariance_matrix(np.array([[1.0, 2.0]]))
+        assert np.allclose(cov, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            covariance_matrix(np.zeros((0, 3)))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(DimensionalityError):
+            covariance_matrix(np.zeros(5))
+
+
+class TestPrincipalComponents:
+    def test_eigenvalues_ascending(self):
+        rng = np.random.default_rng(6)
+        pts = rng.normal(size=(100, 5)) * np.array([1, 2, 3, 4, 5])
+        pca = principal_components(pts)
+        assert np.all(np.diff(pca.eigenvalues) >= -1e-9)
+
+    def test_eigenvectors_orthonormal(self):
+        rng = np.random.default_rng(7)
+        pts = rng.normal(size=(60, 4))
+        pca = principal_components(pts)
+        gram = pca.eigenvectors @ pca.eigenvectors.T
+        assert np.allclose(gram, np.eye(4), atol=1e-9)
+
+    def test_least_variance_direction_of_degenerate_data(self):
+        # Points on a line y = x: the least-variance direction is (1,-1)/sqrt(2).
+        t = np.linspace(0, 1, 30)
+        pts = np.column_stack([t, t])
+        pca = principal_components(pts)
+        least = pca.eigenvectors[0]
+        assert abs(abs(least @ np.array([1, -1]) / np.sqrt(2)) - 1.0) < 1e-8
+        assert pca.eigenvalues[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_negative_eigenvalues(self):
+        rng = np.random.default_rng(8)
+        pts = rng.normal(size=(20, 10))
+        pca = principal_components(pts)
+        assert np.all(pca.eigenvalues >= 0)
+
+
+class TestVarianceAlongDirections:
+    def test_axis_direction_matches_column_variance(self):
+        rng = np.random.default_rng(9)
+        pts = rng.normal(size=(80, 3)) * np.array([1.0, 2.0, 3.0])
+        var = variance_along_directions(pts, np.eye(3))
+        assert np.allclose(var, pts.var(axis=0))
+
+    def test_single_direction(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        var = variance_along_directions(pts, np.array([1.0, 0.0]))
+        assert var[0] == pytest.approx(1.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            variance_along_directions(np.zeros((5, 3)), np.eye(4))
+
+
+class TestDiscriminationRatios:
+    def test_tight_cluster_direction_found(self):
+        rng = np.random.default_rng(10)
+        # Cluster tight in dim 0 (sigma 0.01), loose in dim 1 (sigma 1).
+        cluster = rng.normal(0, [0.01, 1.0], size=(50, 2))
+        everyone = rng.normal(0, [1.0, 1.0], size=(500, 2))
+        ratios, vecs = discrimination_ratios(cluster, everyone)
+        assert ratios[0] < ratios[1]
+        # Best direction should be close to the x axis.
+        assert abs(vecs[0, 0]) > 0.95
+
+    def test_ratios_sorted(self):
+        rng = np.random.default_rng(11)
+        cluster = rng.normal(size=(30, 5))
+        everyone = rng.normal(size=(200, 5))
+        ratios, _ = discrimination_ratios(cluster, everyone)
+        assert np.all(np.diff(ratios) >= -1e-12)
+
+    def test_axis_variant_picks_tight_axis(self):
+        rng = np.random.default_rng(12)
+        cluster = np.column_stack(
+            [rng.normal(0, 0.01, 40), rng.normal(0, 1.0, 40)]
+        )
+        everyone = rng.normal(0, 1.0, size=(400, 2))
+        ratios, axes = axis_discrimination_ratios(cluster, everyone)
+        assert axes[0] == 0
+        assert ratios[0] < ratios[1]
+
+    def test_axis_variant_empty_cluster(self):
+        with pytest.raises(EmptyDatasetError):
+            axis_discrimination_ratios(np.zeros((0, 2)), np.zeros((5, 2)))

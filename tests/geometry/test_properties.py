@@ -1,0 +1,105 @@
+"""Property-based tests for the geometry substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.distances import euclidean_distance, minkowski_distance
+from repro.geometry.random_rotation import random_orthogonal_matrix
+from repro.geometry.subspace import Subspace, orthonormalize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def basis_arrays(rows: int, cols: int):
+    return arrays(np.float64, (rows, cols), elements=finite_floats)
+
+
+@given(basis_arrays(3, 6))
+@settings(max_examples=50, deadline=None)
+def test_orthonormalize_always_orthonormal(raw):
+    basis = orthonormalize(raw)
+    gram = basis @ basis.T
+    assert np.allclose(gram, np.eye(basis.shape[0]), atol=1e-8)
+
+
+@given(basis_arrays(2, 5), arrays(np.float64, (5,), elements=finite_floats))
+@settings(max_examples=50, deadline=None)
+def test_projection_is_idempotent(raw, point):
+    basis = orthonormalize(raw)
+    if basis.shape[0] == 0:
+        return
+    sub = Subspace(basis)
+    once = sub.embed(sub.project(point))
+    twice = sub.embed(sub.project(once))
+    assert np.allclose(once, twice, atol=1e-6 * max(1.0, np.abs(point).max()))
+
+
+@given(basis_arrays(2, 6))
+@settings(max_examples=50, deadline=None)
+def test_complement_dimension_and_orthogonality(raw):
+    basis = orthonormalize(raw)
+    if basis.shape[0] == 0:
+        return
+    sub = Subspace(basis)
+    comp = sub.complement()
+    assert sub.dim + comp.dim == sub.ambient_dim
+    assert sub.is_orthogonal_to(comp)
+
+
+@given(
+    arrays(np.float64, (8, 4), elements=finite_floats),
+    arrays(np.float64, (4,), elements=finite_floats),
+)
+@settings(max_examples=50, deadline=None)
+def test_projection_never_increases_euclidean_distance(points, query):
+    sub = Subspace.from_axes([0, 2], 4)
+    full = euclidean_distance(points, query)
+    projected = euclidean_distance(sub.project(points), sub.project(query))
+    assert np.all(projected <= full + 1e-9 * (1.0 + full))
+
+
+@given(
+    arrays(np.float64, (6, 3), elements=finite_floats),
+    arrays(np.float64, (3,), elements=finite_floats),
+    arrays(np.float64, (3,), elements=finite_floats),
+)
+@settings(max_examples=50, deadline=None)
+def test_triangle_inequality_l2(points, q1, q2):
+    d_q1 = euclidean_distance(points, q1)
+    d_q2 = euclidean_distance(points, q2)
+    gap = euclidean_distance(q1[np.newaxis, :], q2)[0]
+    assert np.all(d_q1 <= d_q2 + gap + 1e-6 * (1.0 + d_q2 + gap))
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_random_orthogonal_preserves_norms(dim, seed):
+    rng = np.random.default_rng(seed)
+    q = random_orthogonal_matrix(dim, rng)
+    vec = rng.normal(size=dim)
+    assert np.isclose(np.linalg.norm(q @ vec), np.linalg.norm(vec))
+
+
+@given(
+    arrays(
+        np.float64,
+        (5, 3),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    arrays(
+        np.float64,
+        (3,),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    st.floats(min_value=0.25, max_value=4.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_minkowski_nonnegative_and_zero_iff_equal(points, query, p):
+    d = minkowski_distance(points, query, p)
+    assert np.all(d >= 0)
+    d_self = minkowski_distance(query[np.newaxis, :], query, p)
+    assert d_self[0] == 0.0

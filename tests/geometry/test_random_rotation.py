@@ -1,0 +1,63 @@
+"""Unit tests for repro.geometry.random_rotation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.geometry.random_rotation import (
+    random_orthogonal_matrix,
+    random_orthogonal_pair_sequence,
+    random_subspace,
+)
+
+
+class TestRandomOrthogonal:
+    def test_orthogonality(self):
+        rng = np.random.default_rng(13)
+        q = random_orthogonal_matrix(6, rng)
+        assert np.allclose(q @ q.T, np.eye(6), atol=1e-10)
+
+    def test_determinant_magnitude_one(self):
+        rng = np.random.default_rng(14)
+        q = random_orthogonal_matrix(4, rng)
+        assert abs(abs(np.linalg.det(q)) - 1.0) < 1e-10
+
+    def test_deterministic_given_seed(self):
+        a = random_orthogonal_matrix(3, np.random.default_rng(1))
+        b = random_orthogonal_matrix(3, np.random.default_rng(1))
+        assert np.allclose(a, b)
+
+    def test_invalid_dim(self):
+        with pytest.raises(DimensionalityError):
+            random_orthogonal_matrix(0, np.random.default_rng(0))
+
+
+class TestRandomSubspace:
+    def test_dimensions(self):
+        rng = np.random.default_rng(15)
+        sub = random_subspace(8, 3, rng)
+        assert sub.dim == 3
+        assert sub.ambient_dim == 8
+
+    def test_invalid_dims(self):
+        rng = np.random.default_rng(16)
+        with pytest.raises(DimensionalityError):
+            random_subspace(4, 5, rng)
+        with pytest.raises(DimensionalityError):
+            random_subspace(4, 0, rng)
+
+
+class TestPairSequence:
+    def test_even_dimension(self):
+        rng = np.random.default_rng(17)
+        planes = random_orthogonal_pair_sequence(8, rng)
+        assert len(planes) == 4
+        for i, a in enumerate(planes):
+            assert a.dim == 2
+            for b in planes[i + 1 :]:
+                assert a.is_orthogonal_to(b)
+
+    def test_odd_dimension_drops_leftover(self):
+        rng = np.random.default_rng(18)
+        planes = random_orthogonal_pair_sequence(7, rng)
+        assert len(planes) == 3

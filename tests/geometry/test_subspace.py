@@ -1,0 +1,210 @@
+"""Unit tests for repro.geometry.subspace."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError, SubspaceError
+from repro.geometry.subspace import Subspace, orthonormalize
+
+
+class TestOrthonormalize:
+    def test_identity_passthrough(self):
+        basis = orthonormalize(np.eye(4))
+        assert basis.shape == (4, 4)
+        assert np.allclose(basis @ basis.T, np.eye(4))
+
+    def test_scales_to_unit_norm(self):
+        basis = orthonormalize(np.array([[3.0, 0.0], [0.0, 5.0]]))
+        norms = np.linalg.norm(basis, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_drops_dependent_rows(self):
+        rows = np.array([[1.0, 0.0], [2.0, 0.0]])
+        basis = orthonormalize(rows)
+        assert basis.shape == (1, 2)
+
+    def test_empty_input(self):
+        basis = orthonormalize(np.zeros((0, 3)))
+        assert basis.shape == (0, 3)
+
+    def test_result_is_orthonormal_for_random_input(self):
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(5, 8))
+        basis = orthonormalize(raw)
+        assert basis.shape == (5, 8)
+        assert np.allclose(basis @ basis.T, np.eye(5), atol=1e-10)
+
+
+class TestConstruction:
+    def test_full(self):
+        sub = Subspace.full(6)
+        assert sub.dim == 6
+        assert sub.ambient_dim == 6
+
+    def test_full_invalid_dim(self):
+        with pytest.raises(DimensionalityError):
+            Subspace.full(0)
+
+    def test_from_axes(self):
+        sub = Subspace.from_axes([1, 3], 5)
+        assert sub.dim == 2
+        assert sub.is_axis_parallel()
+
+    def test_from_axes_duplicate(self):
+        with pytest.raises(SubspaceError):
+            Subspace.from_axes([1, 1], 5)
+
+    def test_from_axes_out_of_range(self):
+        with pytest.raises(DimensionalityError):
+            Subspace.from_axes([5], 5)
+
+    def test_empty(self):
+        sub = Subspace.empty(4)
+        assert sub.dim == 0
+        assert len(sub) == 0
+
+    def test_dependent_rows_raise(self):
+        with pytest.raises(SubspaceError):
+            Subspace([[1.0, 0.0], [2.0, 0.0]])
+
+    def test_dependent_rows_allowed(self):
+        sub = Subspace([[1.0, 0.0], [2.0, 0.0]], allow_dependent=True)
+        assert sub.dim == 1
+
+    def test_basis_read_only(self):
+        sub = Subspace.full(3)
+        with pytest.raises(ValueError):
+            sub.basis[0, 0] = 99.0
+
+    def test_non_orthonormal_input_fixed(self):
+        sub = Subspace([[1.0, 1.0, 0.0], [1.0, -1.0, 0.0]])
+        gram = sub.basis @ sub.basis.T
+        assert np.allclose(gram, np.eye(2), atol=1e-10)
+
+
+class TestProjection:
+    def test_project_identity(self):
+        sub = Subspace.full(3)
+        pt = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(sub.project(pt), pt)
+
+    def test_project_axis_subset(self):
+        sub = Subspace.from_axes([0, 2], 3)
+        pt = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(sub.project(pt), [1.0, 3.0])
+
+    def test_project_batch_shape(self):
+        sub = Subspace.from_axes([0], 4)
+        pts = np.ones((7, 4))
+        assert sub.project(pts).shape == (7, 1)
+
+    def test_project_wrong_dim(self):
+        sub = Subspace.full(3)
+        with pytest.raises(DimensionalityError):
+            sub.project(np.ones(4))
+
+    def test_embed_roundtrip_inside_subspace(self):
+        rng = np.random.default_rng(1)
+        sub = Subspace(rng.normal(size=(3, 6)))
+        coords = rng.normal(size=(5, 3))
+        ambient = sub.embed(coords)
+        assert np.allclose(sub.project(ambient), coords, atol=1e-10)
+
+    def test_embed_wrong_dim(self):
+        sub = Subspace.from_axes([0, 1], 4)
+        with pytest.raises(DimensionalityError):
+            sub.embed(np.ones(3))
+
+    def test_project_then_embed_is_orthogonal_projection(self):
+        rng = np.random.default_rng(2)
+        sub = Subspace(rng.normal(size=(2, 5)))
+        pt = rng.normal(size=5)
+        projected = sub.embed(sub.project(pt))
+        # The residual must be orthogonal to the subspace.
+        residual = pt - projected
+        assert np.allclose(sub.basis @ residual, 0.0, atol=1e-10)
+
+
+class TestComplement:
+    def test_complement_dimension(self):
+        sub = Subspace.from_axes([0, 1], 5)
+        comp = sub.complement()
+        assert comp.dim == 3
+        assert sub.is_orthogonal_to(comp)
+
+    def test_complement_within(self):
+        outer = Subspace.from_axes([0, 1, 2, 3], 6)
+        inner = Subspace.from_axes([1, 2], 6)
+        comp = inner.complement_within(outer)
+        assert comp.dim == 2
+        assert comp.is_contained_in(outer)
+        assert comp.is_orthogonal_to(inner)
+
+    def test_complement_not_contained_raises(self):
+        outer = Subspace.from_axes([0, 1], 5)
+        inner = Subspace.from_axes([2], 5)
+        with pytest.raises(SubspaceError):
+            inner.complement_within(outer)
+
+    def test_complement_of_empty(self):
+        empty = Subspace.empty(4)
+        comp = empty.complement()
+        assert comp.dim == 4
+
+    def test_direct_sum_restores_outer(self):
+        rng = np.random.default_rng(3)
+        outer = Subspace(rng.normal(size=(4, 7)))
+        inner = Subspace(outer.basis[:2])
+        comp = inner.complement_within(outer)
+        total = inner.direct_sum(comp)
+        assert total.dim == outer.dim
+        assert outer.basis[3] is not None
+        for row in outer.basis:
+            assert total.contains_vector(row)
+
+
+class TestPredicates:
+    def test_is_contained_in_self(self):
+        sub = Subspace.from_axes([0, 2], 5)
+        assert sub.is_contained_in(sub)
+
+    def test_is_contained_in_full(self):
+        sub = Subspace.from_axes([1], 4)
+        assert sub.is_contained_in(Subspace.full(4))
+
+    def test_not_contained(self):
+        a = Subspace.from_axes([0], 3)
+        b = Subspace.from_axes([1], 3)
+        assert not a.is_contained_in(b)
+
+    def test_orthogonality(self):
+        a = Subspace.from_axes([0], 4)
+        b = Subspace.from_axes([1, 2], 4)
+        assert a.is_orthogonal_to(b)
+        assert b.is_orthogonal_to(a)
+
+    def test_non_orthogonal(self):
+        a = Subspace.from_axes([0, 1], 4)
+        b = Subspace.from_axes([1, 2], 4)
+        assert not a.is_orthogonal_to(b)
+
+    def test_contains_vector(self):
+        sub = Subspace.from_axes([0, 1], 3)
+        assert sub.contains_vector(np.array([3.0, -2.0, 0.0]))
+        assert not sub.contains_vector(np.array([0.0, 0.0, 1.0]))
+
+    def test_contains_zero_vector(self):
+        sub = Subspace.from_axes([0], 3)
+        assert sub.contains_vector(np.zeros(3))
+
+    def test_axis_parallel_detection(self):
+        assert Subspace.from_axes([0, 3], 5).is_axis_parallel()
+        rotated = Subspace([[1.0, 1.0, 0.0]])
+        assert not rotated.is_axis_parallel()
+
+    def test_empty_is_axis_parallel(self):
+        assert Subspace.empty(3).is_axis_parallel()
+
+    def test_repr_mentions_dims(self):
+        text = repr(Subspace.from_axes([0], 3))
+        assert "dim=1" in text and "ambient_dim=3" in text

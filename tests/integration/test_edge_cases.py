@@ -1,0 +1,163 @@
+"""Edge cases and failure injection across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    InteractiveNNSearch,
+    SearchConfig,
+    natural_neighbors,
+)
+from repro.data.dataset import Dataset
+from repro.density.kde import KernelDensityEstimator
+from repro.density.profiles import VisualProfile
+from repro.exceptions import ReproError
+from repro.interaction.base import UserDecision
+from repro.interaction.scripted import CallbackUser, FixedThresholdUser
+
+TINY = SearchConfig(
+    support=4,
+    grid_resolution=12,
+    min_major_iterations=1,
+    max_major_iterations=2,
+    projection_restarts=1,
+)
+
+
+class TestDegenerateData:
+    def test_two_dimensional_dataset(self, rng):
+        """d = 2: exactly one view per major iteration, no refinement."""
+        points = rng.normal(size=(50, 2))
+        ds = Dataset(points=points)
+        result = InteractiveNNSearch(ds, TINY).run(
+            points[0], FixedThresholdUser(0.1)
+        )
+        assert result.probabilities.shape == (50,)
+        for record in result.session.major_records:
+            assert len(record.pick_counts) == 1
+
+    def test_three_dimensional_dataset(self, rng):
+        """Odd d: one view, one leftover dimension."""
+        points = rng.normal(size=(40, 3))
+        ds = Dataset(points=points)
+        result = InteractiveNNSearch(ds, TINY).run(
+            points[0], FixedThresholdUser(0.1)
+        )
+        assert result.session.total_views >= 1
+
+    def test_nearly_constant_attribute(self, rng):
+        """A zero-variance attribute must not break KDE or PCA."""
+        points = rng.normal(size=(60, 5))
+        points[:, 2] = 7.0  # constant column
+        ds = Dataset(points=points)
+        result = InteractiveNNSearch(ds, TINY).run(
+            points[0], FixedThresholdUser(0.1)
+        )
+        assert np.all(np.isfinite(result.probabilities))
+
+    def test_duplicated_points(self, rng):
+        """Many exact duplicates (common in categorical-ish data)."""
+        base = rng.normal(size=(10, 4))
+        points = np.repeat(base, 6, axis=0)
+        ds = Dataset(points=points)
+        result = InteractiveNNSearch(ds, TINY).run(
+            points[0], FixedThresholdUser(0.1)
+        )
+        assert result.probabilities.shape == (60,)
+
+    def test_tiny_dataset(self, rng):
+        points = rng.normal(size=(8, 4))
+        ds = Dataset(points=points)
+        result = InteractiveNNSearch(ds, TINY).run(
+            points[0], FixedThresholdUser(0.1)
+        )
+        assert result.neighbor_indices.size == result.support
+
+    def test_kde_identical_points(self):
+        """All-identical points: bandwidth floors keep densities finite."""
+        kde = KernelDensityEstimator(np.ones((20, 2)))
+        value = kde.evaluate(np.ones(2))
+        assert np.isfinite(value)
+
+    def test_profile_query_far_outside(self, rng):
+        points = rng.normal(size=(80, 2))
+        profile = VisualProfile.build(points, np.array([50.0, 50.0]))
+        assert profile.statistics.query_percentile <= 0.05
+
+
+class TestUserFailureInjection:
+    def test_user_exception_propagates(self, small_clustered):
+        """A crashing user surfaces its own error, not a masked one."""
+
+        class Boom(RuntimeError):
+            pass
+
+        def explode(view):
+            raise Boom("ui crashed")
+
+        ds = small_clustered.dataset
+        with pytest.raises(Boom):
+            InteractiveNNSearch(ds, TINY).run(
+                ds.points[0], CallbackUser(explode)
+            )
+
+    def test_alternating_user(self, small_clustered):
+        """Accept/reject alternation keeps the bookkeeping coherent."""
+        state = {"count": 0}
+
+        def alternate(view):
+            state["count"] += 1
+            if state["count"] % 2:
+                return UserDecision.reject(view.n_points)
+            mask = np.zeros(view.n_points, dtype=bool)
+            mask[: min(20, view.n_points)] = True
+            return UserDecision(accepted=True, selected_mask=mask)
+
+        ds = small_clustered.dataset
+        result = InteractiveNNSearch(ds, TINY).run(
+            ds.points[0], CallbackUser(alternate)
+        )
+        for major in result.session.major_records:
+            accepted = sum(1 for c in major.pick_counts if c > 0)
+            assert accepted <= len(major.pick_counts)
+
+    def test_user_selecting_one_point(self, small_clustered):
+        def single(view):
+            mask = np.zeros(view.n_points, dtype=bool)
+            mask[0] = True
+            return UserDecision(accepted=True, selected_mask=mask)
+
+        ds = small_clustered.dataset
+        result = InteractiveNNSearch(ds, TINY).run(
+            ds.points[0], CallbackUser(single)
+        )
+        assert np.all(np.isfinite(result.probabilities))
+
+
+class TestNaturalNeighborsEdges:
+    def test_all_zero_probabilities(self):
+        assert natural_neighbors(np.zeros(100), iterations=3).size == 0
+
+    def test_all_one_probabilities(self):
+        # Everything maximally coherent: more than max_fraction -> empty.
+        assert natural_neighbors(np.ones(100), iterations=3).size == 0
+
+    def test_exceptions_share_base_class(self):
+        from repro.exceptions import (
+            ConfigurationError,
+            ConvergenceError,
+            DimensionalityError,
+            EmptyDatasetError,
+            InteractionError,
+            SubspaceError,
+        )
+
+        for exc in (
+            ConfigurationError,
+            ConvergenceError,
+            DimensionalityError,
+            EmptyDatasetError,
+            InteractionError,
+            SubspaceError,
+        ):
+            assert issubclass(exc, ReproError)

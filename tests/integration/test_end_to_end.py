@@ -1,0 +1,168 @@
+"""Integration tests: whole-system behaviour on the paper's scenarios.
+
+These are scaled-down versions of the paper's experiments — fast enough
+for CI, still exercising the full pipeline: generator -> projection
+search -> density profiles -> simulated user -> meaningfulness ->
+natural-neighbor detection -> diagnosis.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HeuristicUser,
+    InteractiveNNSearch,
+    OracleUser,
+    SearchConfig,
+    diagnose,
+    natural_neighbors,
+    retrieval_quality,
+)
+from repro.data.synthetic import (
+    ProjectedClusterSpec,
+    generate_projected_clusters,
+    uniform_dataset,
+)
+
+FAST = SearchConfig(
+    support=15,
+    grid_resolution=40,
+    min_major_iterations=2,
+    max_major_iterations=4,
+    projection_restarts=3,
+)
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    spec = ProjectedClusterSpec(
+        n_points=1200,
+        dim=12,
+        n_clusters=4,
+        cluster_dim=4,
+        axis_parallel=True,
+        noise_fraction=0.1,
+    )
+    return generate_projected_clusters(spec, np.random.default_rng(31))
+
+
+class TestOracleRetrieval:
+    """Mini Table 1: oracle-driven retrieval on projected clusters."""
+
+    def test_precision_and_recall(self, clustered):
+        ds = clustered.dataset
+        precisions, recalls = [], []
+        for label in range(3):
+            qi = int(ds.cluster_indices(label)[0])
+            user = OracleUser(ds, qi)
+            result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], user)
+            nn = natural_neighbors(
+                result.probabilities,
+                iterations=len(result.session.major_records),
+            )
+            quality = retrieval_quality(nn, ds.cluster_indices(label))
+            precisions.append(quality.precision)
+            recalls.append(quality.recall)
+        assert np.mean(precisions) > 0.8
+        assert np.mean(recalls) > 0.7
+
+    def test_natural_count_tracks_cluster_size(self, clustered):
+        ds = clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        true_size = ds.cluster_indices(0).size
+        user = OracleUser(ds, qi)
+        result = InteractiveNNSearch(ds, FAST).run(ds.points[qi], user)
+        nn = natural_neighbors(
+            result.probabilities, iterations=len(result.session.major_records)
+        )
+        assert 0.6 * true_size <= nn.size <= 1.4 * true_size
+
+    def test_meaningful_diagnosis(self, clustered):
+        ds = clustered.dataset
+        qi = int(ds.cluster_indices(1)[0])
+        result = InteractiveNNSearch(ds, FAST).run(
+            ds.points[qi], OracleUser(ds, qi)
+        )
+        assert diagnose(result).meaningful
+
+
+class TestUniformMeaninglessness:
+    """Mini §4.2: uniform data is diagnosed as not meaningful."""
+
+    def test_heuristic_user_rejects_uniform(self):
+        ds = uniform_dataset(np.random.default_rng(5), n_points=1000, dim=12)
+        query = ds.points[17]
+        result = InteractiveNNSearch(ds, FAST).run(query, HeuristicUser())
+        verdict = diagnose(result)
+        assert not verdict.meaningful
+        nn = natural_neighbors(
+            result.probabilities, iterations=len(result.session.major_records)
+        )
+        assert nn.size == 0
+
+    def test_acceptance_rate_contrast(self, clustered):
+        """The same heuristic user accepts far more views on clustered data."""
+        uniform = uniform_dataset(np.random.default_rng(6), n_points=1000, dim=12)
+        u_user = HeuristicUser()
+        InteractiveNNSearch(uniform, FAST).run(uniform.points[3], u_user)
+        uniform_rate = u_user.views_accepted / max(u_user.views_reviewed, 1)
+
+        ds = clustered.dataset
+        qi = int(ds.cluster_indices(2)[0])
+        c_user = HeuristicUser()
+        InteractiveNNSearch(ds, FAST).run(ds.points[qi], c_user)
+        clustered_rate = c_user.views_accepted / max(c_user.views_reviewed, 1)
+        assert clustered_rate > uniform_rate
+
+
+class TestGradedSubspaces:
+    """Mini Figs. 10-11: early views are more discriminative than late ones."""
+
+    def test_first_views_have_higher_relief(self, clustered):
+        ds = clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        result = InteractiveNNSearch(ds, FAST).run(
+            ds.points[qi], OracleUser(ds, qi)
+        )
+        quality = result.session.profile_quality_by_minor_index()
+        early = np.mean(quality[0])
+        late = np.mean(quality[max(quality)])
+        assert early > late
+
+    def test_acceptance_concentrates_early(self, clustered):
+        ds = clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        result = InteractiveNNSearch(ds, FAST).run(
+            ds.points[qi], OracleUser(ds, qi)
+        )
+        records = result.session.minor_records
+        half = len(records) // 2
+        early_accepts = sum(1 for r in records[:half] if r.accepted)
+        late_accepts = sum(1 for r in records[half:] if r.accepted)
+        assert early_accepts >= late_accepts
+
+
+class TestArbitraryVsAxisParallel:
+    """Case-2 style data requires arbitrary projections to do well."""
+
+    def test_arbitrary_mode_on_rotated_clusters(self):
+        spec = ProjectedClusterSpec(
+            n_points=1000,
+            dim=10,
+            n_clusters=3,
+            cluster_dim=4,
+            axis_parallel=False,
+            noise_fraction=0.1,
+        )
+        data = generate_projected_clusters(spec, np.random.default_rng(41))
+        ds = data.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        result = InteractiveNNSearch(ds, FAST).run(
+            ds.points[qi], OracleUser(ds, qi)
+        )
+        nn = natural_neighbors(
+            result.probabilities, iterations=len(result.session.major_records)
+        )
+        quality = retrieval_quality(nn, ds.cluster_indices(0))
+        assert quality.precision > 0.7
+        assert quality.recall > 0.5

@@ -1,0 +1,134 @@
+"""Cross-cutting scenario tests: realistic end-to-end usage patterns."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HeuristicUser,
+    InteractiveNNSearch,
+    OracleUser,
+    SearchConfig,
+    natural_neighbors,
+    retrieval_quality,
+)
+from repro.core import run_batch, save_result, load_result_dict
+from repro.data.synthetic import (
+    ProjectedClusterSpec,
+    generate_projected_clusters,
+)
+
+FAST = SearchConfig(
+    support=15,
+    grid_resolution=35,
+    min_major_iterations=2,
+    max_major_iterations=3,
+    projection_restarts=3,
+)
+
+
+@pytest.fixture(scope="module")
+def rotated_clusters():
+    """Case-2 style: arbitrarily oriented cluster subspaces."""
+    spec = ProjectedClusterSpec(
+        n_points=1000,
+        dim=10,
+        n_clusters=3,
+        cluster_dim=4,
+        axis_parallel=False,
+        noise_fraction=0.1,
+    )
+    return generate_projected_clusters(spec, np.random.default_rng(61))
+
+
+class TestRotatedClustersWithHeuristic:
+    """The label-free user on rotated (Case-2) data — the hardest combo."""
+
+    def test_some_queries_succeed(self, rotated_clusters):
+        ds = rotated_clusters.dataset
+        successes = 0
+        for label in range(3):
+            qi = int(ds.cluster_indices(label)[0])
+            result = InteractiveNNSearch(ds, FAST).run(
+                ds.points[qi], HeuristicUser()
+            )
+            nn = natural_neighbors(
+                result.probabilities,
+                iterations=len(result.session.major_records),
+            )
+            if nn.size:
+                quality = retrieval_quality(nn, ds.cluster_indices(label))
+                if quality.precision > 0.6:
+                    successes += 1
+        # The unaided-human model is a lower bound; it should still
+        # succeed on at least one of three rotated clusters.
+        assert successes >= 1
+
+    def test_axis_parallel_mode_struggles_on_rotated_data(
+        self, rotated_clusters
+    ):
+        """Interpretable views cannot express rotated cluster subspaces
+        as crisply — the oracle accepts fewer axis-parallel views."""
+        ds = rotated_clusters.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        arbitrary = InteractiveNNSearch(ds, FAST).run(
+            ds.points[qi], OracleUser(ds, qi)
+        )
+        axis_cfg = SearchConfig(
+            support=15,
+            grid_resolution=35,
+            min_major_iterations=2,
+            max_major_iterations=3,
+            projection_restarts=3,
+            axis_parallel=True,
+        )
+        axis = InteractiveNNSearch(ds, axis_cfg).run(
+            ds.points[qi], OracleUser(ds, qi)
+        )
+        true = ds.cluster_indices(0)
+
+        def recall(result):
+            nn = natural_neighbors(
+                result.probabilities,
+                iterations=len(result.session.major_records),
+            )
+            return retrieval_quality(nn, true).recall
+
+        # Arbitrary projections must not lose to axis-parallel here.
+        assert recall(arbitrary) >= recall(axis) - 0.05
+
+
+class TestArchiveRoundTrip:
+    def test_batch_then_archive(self, rotated_clusters, tmp_path):
+        """A realistic pipeline: batch search, archive each session."""
+        ds = rotated_clusters.dataset
+        queries = np.array(
+            [int(ds.cluster_indices(label)[0]) for label in range(2)]
+        )
+        search = InteractiveNNSearch(ds, FAST)
+        batch = run_batch(search, queries, lambda qi: OracleUser(ds, qi))
+        for entry in batch.entries:
+            path = save_result(
+                entry.result, tmp_path / f"q{entry.query_index}.json"
+            )
+            loaded = load_result_dict(path)
+            assert loaded["session"]["total_views"] == (
+                entry.result.session.total_views
+            )
+        assert batch.meaningful_count >= 1
+
+
+class TestNormalizationInvariance:
+    def test_normalized_data_same_cluster_recovered(self, rotated_clusters):
+        """Min-max normalization must not break the recovery."""
+        data = rotated_clusters
+        ds = data.dataset
+        qi = int(ds.cluster_indices(1)[0])
+        normalized = ds.normalized()
+        result = InteractiveNNSearch(normalized, FAST).run(
+            normalized.points[qi], OracleUser(normalized, qi)
+        )
+        nn = natural_neighbors(
+            result.probabilities, iterations=len(result.session.major_records)
+        )
+        quality = retrieval_quality(nn, ds.cluster_indices(1))
+        assert quality.precision > 0.7

@@ -1,0 +1,102 @@
+"""Unit tests for repro.interaction.base."""
+
+import numpy as np
+import pytest
+
+from repro.density.profiles import VisualProfile
+from repro.exceptions import InteractionError
+from repro.geometry.subspace import Subspace
+from repro.interaction.base import (
+    ProjectionView,
+    ThresholdSweep,
+    UserDecision,
+    validate_decision,
+)
+
+
+def make_view(points, query, *, total=0):
+    profile = VisualProfile.build(points, query, resolution=25)
+    return ProjectionView(
+        profile=profile,
+        projected_points=points,
+        query_2d=np.asarray(query),
+        subspace=Subspace.from_axes([0, 1], 2),
+        live_indices=np.arange(len(points)),
+        major_index=0,
+        minor_index=0,
+        total_points=total or len(points),
+    )
+
+
+class TestUserDecision:
+    def test_reject_factory(self):
+        d = UserDecision.reject(5)
+        assert not d.accepted
+        assert d.selected_mask.shape == (5,)
+        assert d.selected_count == 0
+        assert d.threshold is None
+
+    def test_accepted_empty_mask_normalized_to_reject(self):
+        d = UserDecision(accepted=True, selected_mask=np.zeros(4, dtype=bool))
+        assert not d.accepted
+
+    def test_selected_count(self):
+        mask = np.array([True, False, True])
+        d = UserDecision(accepted=True, selected_mask=mask, threshold=1.0)
+        assert d.selected_count == 2
+
+    def test_mask_coerced_to_bool(self):
+        d = UserDecision(accepted=True, selected_mask=np.array([1, 0, 1]))
+        assert d.selected_mask.dtype == bool
+
+
+class TestValidateDecision:
+    def test_valid(self, blob_2d):
+        points, center = blob_2d
+        view = make_view(points, center)
+        d = UserDecision.reject(view.n_points)
+        assert validate_decision(d, view) is d
+
+    def test_mismatched_mask(self, blob_2d):
+        points, center = blob_2d
+        view = make_view(points, center)
+        d = UserDecision.reject(view.n_points + 1)
+        with pytest.raises(InteractionError):
+            validate_decision(d, view)
+
+
+class TestThresholdSweep:
+    def test_sizes_non_increasing(self, blob_2d):
+        points, center = blob_2d
+        view = make_view(points, center)
+        sweep = ThresholdSweep.over_view(view, steps=16)
+        assert sweep.thresholds.size == 16
+        assert np.all(np.diff(sweep.sizes) <= 0)
+
+    def test_masks_align_with_sizes(self, blob_2d):
+        points, center = blob_2d
+        view = make_view(points, center)
+        sweep = ThresholdSweep.over_view(view, steps=10)
+        for mask, size in zip(sweep.masks, sweep.sizes):
+            assert mask.sum() == size
+
+    def test_thresholds_ascend(self, blob_2d):
+        points, center = blob_2d
+        view = make_view(points, center)
+        sweep = ThresholdSweep.over_view(view)
+        assert np.all(np.diff(sweep.thresholds) > 0)
+
+    def test_top_threshold_below_query_density(self, blob_2d):
+        points, center = blob_2d
+        view = make_view(points, center)
+        sweep = ThresholdSweep.over_view(view)
+        assert sweep.thresholds[-1] <= view.profile.statistics.query_density
+
+    def test_is_empty_for_degenerate(self):
+        # Query far outside the data: query density ~ 0.
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(50, 2))
+        far = np.array([100.0, 100.0])
+        view = make_view(points, far)
+        sweep = ThresholdSweep.over_view(view)
+        assert sweep.is_empty or sweep.sizes.max() >= 0  # no crash

@@ -1,0 +1,106 @@
+"""Protocol conformance: every shipped user satisfies UserAgent.
+
+The search core relies on duck typing through the `UserAgent` protocol;
+these tests pin the contract for all implementations at once, so a new
+user class cannot silently break the seam.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.density.profiles import VisualProfile
+from repro.geometry.subspace import Subspace
+from repro.interaction.base import ProjectionView, UserAgent, UserDecision
+from repro.interaction.heuristic import HeuristicUser
+from repro.interaction.oracle import OracleUser
+from repro.interaction.scripted import (
+    AcceptEverythingUser,
+    CallbackUser,
+    FixedThresholdUser,
+    ScriptedUser,
+)
+from repro.interaction.terminal import TerminalUser
+
+
+@pytest.fixture
+def view_and_dataset(rng):
+    center = np.array([0.4, 0.6])
+    blob = center + rng.normal(0, 0.02, size=(120, 2))
+    noise = rng.uniform(0, 1, size=(200, 2))
+    points = np.vstack([blob, noise])
+    labels = np.concatenate([np.zeros(120, int), np.ones(200, int)])
+    dataset = Dataset(points=points, labels=labels)
+    profile = VisualProfile.build(points, center, resolution=30,
+                                  bandwidth_scale=0.4)
+    view = ProjectionView(
+        profile=profile,
+        projected_points=points,
+        query_2d=center,
+        subspace=Subspace.from_axes([0, 1], 2),
+        live_indices=np.arange(320),
+        major_index=0,
+        minor_index=0,
+        total_points=320,
+    )
+    return view, dataset
+
+
+def all_users(dataset):
+    """One instance of every shipped user implementation."""
+    tau = 0.5
+    return [
+        OracleUser(dataset, 0),
+        OracleUser(dataset, 0, weight_by_confidence=True),
+        HeuristicUser(),
+        FixedThresholdUser(tau),
+        ScriptedUser([tau] * 10),
+        CallbackUser(lambda v: UserDecision.reject(v.n_points)),
+        AcceptEverythingUser(),
+        TerminalUser(
+            input_stream=io.StringIO("skip\n" * 10),
+            output_stream=io.StringIO(),
+        ),
+    ]
+
+
+class TestProtocolConformance:
+    def test_runtime_checkable_protocol(self, view_and_dataset):
+        _, dataset = view_and_dataset
+        for user in all_users(dataset):
+            assert isinstance(user, UserAgent), type(user).__name__
+
+    def test_decisions_are_well_formed(self, view_and_dataset):
+        view, dataset = view_and_dataset
+        for user in all_users(dataset):
+            decision = user.review_view(view)
+            assert isinstance(decision, UserDecision), type(user).__name__
+            assert decision.selected_mask.shape == (view.n_points,)
+            assert decision.selected_mask.dtype == bool
+            assert decision.weight > 0
+            if not decision.accepted:
+                assert decision.selected_count == 0
+
+    def test_rejections_never_select(self, view_and_dataset):
+        view, dataset = view_and_dataset
+        for user in all_users(dataset):
+            decision = user.review_view(view)
+            if not decision.accepted:
+                assert not decision.selected_mask.any()
+
+    def test_accepted_selection_contains_query_cell_points(
+        self, view_and_dataset
+    ):
+        """Density-separator selections include points near the query."""
+        view, dataset = view_and_dataset
+        dists = np.linalg.norm(view.projected_points - view.query_2d, axis=1)
+        ten_nearest = np.argsort(dists)[:10]
+        for user in (OracleUser(dataset, 0), HeuristicUser()):
+            decision = user.review_view(view)
+            if decision.accepted and decision.threshold is not None:
+                # Grid-cell granularity can clip the immediate
+                # neighborhood; a sanity floor is enough here.
+                selected_near = decision.selected_mask[ten_nearest]
+                assert selected_near.mean() >= 0.4, type(user).__name__

@@ -1,0 +1,269 @@
+"""Unit tests for the oracle, heuristic, and scripted users."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.density.profiles import VisualProfile
+from repro.exceptions import ConfigurationError, InteractionError
+from repro.geometry.subspace import Subspace
+from repro.interaction.base import ProjectionView, UserDecision
+from repro.interaction.heuristic import HeuristicUser
+from repro.interaction.oracle import OracleUser, f1_score, fbeta_score
+from repro.interaction.scripted import (
+    AcceptEverythingUser,
+    CallbackUser,
+    FixedThresholdUser,
+    ScriptedUser,
+)
+from repro.interaction.terminal import TerminalUser
+
+
+@pytest.fixture
+def cluster_view(rng):
+    """A view with a crisp blob at the query plus background.
+
+    Returns (view, dataset): points 0..149 are blob members.
+    """
+    center = np.array([0.3, 0.7])
+    blob = center + rng.normal(0, 0.02, size=(150, 2))
+    background = rng.uniform(0, 1, size=(350, 2))
+    points = np.vstack([blob, background])
+    labels = np.concatenate([np.zeros(150, dtype=int), np.ones(350, dtype=int)])
+    dataset = Dataset(points=points, labels=labels)
+    profile = VisualProfile.build(points, center, resolution=40, bandwidth_scale=0.4)
+    view = ProjectionView(
+        profile=profile,
+        projected_points=points,
+        query_2d=center,
+        subspace=Subspace.from_axes([0, 1], 2),
+        live_indices=np.arange(500),
+        major_index=0,
+        minor_index=0,
+        total_points=500,
+    )
+    return view, dataset
+
+
+@pytest.fixture
+def noise_view(rng):
+    """A uniform-noise view with the query at a random location."""
+    points = rng.uniform(0, 1, size=(500, 2))
+    query = points[0]
+    profile = VisualProfile.build(points, query, resolution=40, bandwidth_scale=0.4)
+    return ProjectionView(
+        profile=profile,
+        projected_points=points,
+        query_2d=query,
+        subspace=Subspace.from_axes([0, 1], 2),
+        live_indices=np.arange(500),
+        major_index=0,
+        minor_index=0,
+        total_points=500,
+    )
+
+
+class TestScores:
+    def test_f1_perfect(self):
+        sel = np.array([True, True, False])
+        assert f1_score(sel, sel) == 1.0
+
+    def test_f1_zero_overlap(self):
+        assert f1_score(np.array([True, False]), np.array([False, True])) == 0.0
+
+    def test_fbeta_weighs_recall(self):
+        # High-recall low-precision selection.
+        sel = np.array([True] * 10)
+        rel = np.array([True] * 3 + [False] * 7)
+        assert fbeta_score(sel, rel, 2.0) > fbeta_score(sel, rel, 1.0)
+
+    def test_fbeta_equals_f1_at_beta_one(self):
+        rng = np.random.default_rng(0)
+        sel = rng.random(20) > 0.5
+        rel = rng.random(20) > 0.5
+        assert fbeta_score(sel, rel, 1.0) == pytest.approx(f1_score(sel, rel))
+
+
+class TestOracleUser:
+    def test_accepts_good_view(self, cluster_view):
+        view, dataset = cluster_view
+        user = OracleUser(dataset, query_index=0)
+        decision = user.review_view(view)
+        assert decision.accepted
+        # Selection is mostly blob members.
+        selected = np.flatnonzero(decision.selected_mask)
+        assert np.mean(selected < 150) > 0.7
+        assert user.views_accepted == 1
+
+    def test_rejects_when_cluster_absent(self, noise_view, rng):
+        labels = np.concatenate([[0], np.ones(499, dtype=int)])
+        dataset = Dataset(points=noise_view.projected_points, labels=labels)
+        user = OracleUser(dataset, query_index=0)
+        decision = user.review_view(noise_view)
+        assert not decision.accepted
+
+    def test_noise_query_rejects(self, cluster_view):
+        view, dataset = cluster_view
+        noisy = Dataset(
+            points=dataset.points,
+            labels=np.full(dataset.size, -1),
+        )
+        user = OracleUser(noisy, query_index=0)
+        assert not user.review_view(view).accepted
+
+    def test_requires_labels_or_mask(self):
+        ds = Dataset(points=np.ones((5, 2)))
+        with pytest.raises(ConfigurationError):
+            OracleUser(ds, 0)
+
+    def test_relevant_mask_override(self, cluster_view):
+        view, dataset = cluster_view
+        mask = np.zeros(dataset.size, dtype=bool)
+        mask[:150] = True
+        user = OracleUser(dataset, 0, relevant_mask=mask)
+        assert user.review_view(view).accepted
+
+    def test_relevant_mask_wrong_shape(self, cluster_view):
+        _, dataset = cluster_view
+        with pytest.raises(ConfigurationError):
+            OracleUser(dataset, 0, relevant_mask=np.ones(3, dtype=bool))
+
+    def test_query_index_out_of_range(self, cluster_view):
+        _, dataset = cluster_view
+        with pytest.raises(ConfigurationError):
+            OracleUser(dataset, dataset.size)
+
+
+class TestHeuristicUser:
+    def test_accepts_cluster_view(self, cluster_view):
+        view, _ = cluster_view
+        user = HeuristicUser()
+        decision = user.review_view(view)
+        assert decision.accepted
+        selected = np.flatnonzero(decision.selected_mask)
+        assert np.mean(selected < 150) > 0.6
+
+    def test_rejects_noise_view(self, noise_view):
+        user = HeuristicUser()
+        assert not user.review_view(noise_view).accepted
+
+    def test_rejects_query_off_peak(self, cluster_view, rng):
+        view, _ = cluster_view
+        # Same data but query in an empty corner.
+        corner = np.array([0.02, 0.02])
+        profile = VisualProfile.build(
+            view.projected_points, corner, resolution=40, bandwidth_scale=0.4
+        )
+        off_view = ProjectionView(
+            profile=profile,
+            projected_points=view.projected_points,
+            query_2d=corner,
+            subspace=view.subspace,
+            live_indices=view.live_indices,
+            major_index=0,
+            minor_index=0,
+            total_points=500,
+        )
+        assert not HeuristicUser().review_view(off_view).accepted
+
+    def test_counters(self, cluster_view, noise_view):
+        view, _ = cluster_view
+        user = HeuristicUser()
+        user.review_view(view)
+        user.review_view(noise_view)
+        assert user.views_reviewed == 2
+        assert user.views_accepted == 1
+
+
+class TestScriptedUsers:
+    def test_threshold_entries(self, cluster_view):
+        view, _ = cluster_view
+        tau = view.profile.statistics.peak_density * 0.2
+        user = ScriptedUser([tau, "reject"])
+        first = user.review_view(view)
+        assert first.accepted
+        second = user.review_view(view)
+        assert not second.accepted
+        assert user.remaining == 0
+
+    def test_script_exhaustion(self, cluster_view):
+        view, _ = cluster_view
+        user = ScriptedUser([])
+        with pytest.raises(InteractionError):
+            user.review_view(view)
+
+    def test_unknown_string_entry(self, cluster_view):
+        view, _ = cluster_view
+        user = ScriptedUser(["banana"])
+        with pytest.raises(InteractionError):
+            user.review_view(view)
+
+    def test_decision_entry_wrong_length(self, cluster_view):
+        view, _ = cluster_view
+        bad = UserDecision(accepted=True, selected_mask=np.ones(3, dtype=bool))
+        user = ScriptedUser([bad])
+        with pytest.raises(InteractionError):
+            user.review_view(view)
+
+    def test_fixed_threshold_user(self, cluster_view):
+        view, _ = cluster_view
+        tau = view.profile.statistics.peak_density * 0.2
+        decision = FixedThresholdUser(tau).review_view(view)
+        assert decision.accepted
+        assert decision.threshold == pytest.approx(tau)
+
+    def test_fixed_threshold_empty_selection_rejects(self, cluster_view):
+        view, _ = cluster_view
+        decision = FixedThresholdUser(1e9).review_view(view)
+        assert not decision.accepted
+
+    def test_callback_user(self, cluster_view):
+        view, _ = cluster_view
+        user = CallbackUser(lambda v: UserDecision.reject(v.n_points))
+        assert not user.review_view(view).accepted
+
+    def test_callback_bad_return(self, cluster_view):
+        view, _ = cluster_view
+        user = CallbackUser(lambda v: "nope")
+        with pytest.raises(InteractionError):
+            user.review_view(view)
+
+    def test_accept_everything(self, cluster_view):
+        view, _ = cluster_view
+        decision = AcceptEverythingUser().review_view(view)
+        assert decision.selected_mask.all()
+
+
+class TestTerminalUser:
+    def test_scripted_session(self, cluster_view):
+        view, _ = cluster_view
+        tau = view.profile.statistics.peak_density * 0.2
+        stdin = io.StringIO(f"{tau}\nok\n")
+        stdout = io.StringIO()
+        user = TerminalUser(input_stream=stdin, output_stream=stdout)
+        decision = user.review_view(view)
+        assert decision.accepted
+        assert "selects" in stdout.getvalue()
+
+    def test_skip(self, cluster_view):
+        view, _ = cluster_view
+        user = TerminalUser(
+            input_stream=io.StringIO("skip\n"), output_stream=io.StringIO()
+        )
+        assert not user.review_view(view).accepted
+
+    def test_garbage_then_eof(self, cluster_view):
+        view, _ = cluster_view
+        user = TerminalUser(
+            input_stream=io.StringIO("wut\n"), output_stream=io.StringIO()
+        )
+        assert not user.review_view(view).accepted
+
+    def test_ok_without_threshold(self, cluster_view):
+        view, _ = cluster_view
+        user = TerminalUser(
+            input_stream=io.StringIO("ok\nskip\n"), output_stream=io.StringIO()
+        )
+        assert not user.review_view(view).accepted

@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("demo", "diagnose", "session", "info"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(
+            ["demo", "--points", "500", "--support", "10", "--seed", "1"]
+        )
+        assert args.points == 500
+        assert args.support == 10
+        assert args.seed == 1
+
+
+class TestInfo:
+    def test_prints_version_and_defaults(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "support" in out
+        assert "bandwidth_scale" in out
+
+
+class TestDemo:
+    def test_runs_and_archives(self, capsys, tmp_path):
+        archive = tmp_path / "run.json"
+        code = main(
+            [
+                "demo",
+                "--points",
+                "600",
+                "--support",
+                "12",
+                "--save",
+                str(archive),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        payload = json.loads(archive.read_text())
+        assert "session" in payload
+        assert payload["session"]["total_views"] > 0
+
+
+class TestDiagnose:
+    def test_contrast_verdicts(self, capsys):
+        code = main(["diagnose", "--points", "1200", "--seed", "13"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "uniform data:   meaningful=False" in out
+        assert "clustered data:" in out

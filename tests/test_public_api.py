@@ -1,0 +1,73 @@
+"""Public-API integrity: exports, docstrings, version."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.density",
+    "repro.geometry",
+    "repro.data",
+    "repro.interaction",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.viz",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        """Every name in __all__ actually exists in the package."""
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        assert exported, f"{package_name} has no __all__"
+        for name in exported:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_no_duplicate_exports(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        assert len(exported) == len(set(exported))
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_public_objects_documented(self, package_name):
+        """Every exported class and function carries a docstring."""
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"{package_name}: {undocumented}"
+
+    def test_public_methods_documented(self):
+        """Methods of the flagship classes are documented."""
+        from repro import InteractiveNNSearch, Subspace
+        from repro.density import DensityGrid, KernelDensityEstimator
+
+        for cls in (InteractiveNNSearch, Subspace, DensityGrid,
+                    KernelDensityEstimator):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_") or not callable(member):
+                    continue
+                assert (member.__doc__ or "").strip(), f"{cls.__name__}.{name}"
+
+
+class TestModuleDocstrings:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_package_docstring(self, package_name):
+        package = importlib.import_module(package_name)
+        assert (package.__doc__ or "").strip()

@@ -1,0 +1,76 @@
+"""Additional edge-case tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.density.grid import DensityGrid
+from repro.viz.ascii import render_density_grid, render_scatter, render_sorted_series
+
+
+class TestRenderDensityGridEdges:
+    def test_query_outside_bounds_clamped(self, blob_2d):
+        points, _ = blob_2d
+        grid = DensityGrid(points, resolution=10)
+        text = render_density_grid(grid, query=np.array([99.0, 99.0]))
+        assert "Q" in text  # clamped to the corner, still drawn
+
+    def test_tiny_raster(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        text = render_density_grid(grid, width=5, height=2)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 5 for line in lines[1:])
+
+    def test_all_characters_from_ramp(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        text = render_density_grid(grid, width=20, height=8)
+        allowed = set(" .:-=+*#%@Q")
+        for line in text.splitlines()[1:]:
+            assert set(line) <= allowed
+
+    def test_threshold_header(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        text = render_density_grid(grid, threshold=1.5)
+        assert "separator at 1.5" in text.splitlines()[0]
+
+
+class TestRenderScatterEdges:
+    def test_single_point(self):
+        text = render_scatter(np.array([[0.5, 0.5]]), width=10, height=5)
+        assert "." in text
+
+    def test_identical_points_stack(self):
+        pts = np.tile(np.array([[0.5, 0.5]]), (5, 1))
+        text = render_scatter(pts, width=10, height=5)
+        assert "o" in text  # stacking marker
+
+    def test_highlight_overrides_dot(self):
+        pts = np.array([[0.1, 0.1], [0.9, 0.9]])
+        text = render_scatter(pts, highlight=np.array([True, False]))
+        assert "*" in text and "." in text
+
+    def test_query_wins_cell(self):
+        pts = np.array([[0.5, 0.5]])
+        text = render_scatter(pts, query=np.array([0.5, 0.5]))
+        assert "Q" in text
+        assert "." not in text
+
+
+class TestRenderSortedSeriesEdges:
+    def test_constant_series(self):
+        text = render_sorted_series(np.full(50, 0.5))
+        assert "max=0.500" in text
+
+    def test_all_zero_series(self):
+        text = render_sorted_series(np.zeros(50))
+        assert "max=0.000" in text
+
+    def test_width_narrower_than_series(self):
+        text = render_sorted_series(np.linspace(0, 1, 500), width=20)
+        bars = text.splitlines()[1]
+        assert len(bars) == 20
+
+    def test_series_narrower_than_width(self):
+        text = render_sorted_series(np.array([1.0, 0.5]), width=60)
+        bars = text.splitlines()[1]
+        assert len(bars) == 2

@@ -1,0 +1,116 @@
+"""Unit tests for repro.viz (ASCII rendering and CSV export)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.density.grid import DensityGrid
+from repro.exceptions import DimensionalityError
+from repro.viz.ascii import render_density_grid, render_scatter, render_sorted_series
+from repro.viz.export import (
+    export_density_grid,
+    export_scatter,
+    export_series,
+    export_table,
+)
+
+
+class TestRenderDensityGrid:
+    def test_shape_and_header(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=15)
+        text = render_density_grid(grid, width=40, height=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("density")
+        assert len(lines) == 11
+        assert all(len(line) == 40 for line in lines[1:])
+
+    def test_query_marker(self, blob_2d):
+        points, center = blob_2d
+        grid = DensityGrid(points, resolution=15, include=center)
+        text = render_density_grid(grid, query=center)
+        assert "Q" in text
+
+    def test_separator_blanks_low_density(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=15)
+        tau = grid.density.max() * 0.5
+        text = render_density_grid(grid, threshold=tau, width=40, height=10)
+        body = "".join(text.splitlines()[1:])
+        assert body.count(" ") > 100  # most cells below the separator
+
+    def test_bad_query_shape(self, blob_2d):
+        grid = DensityGrid(blob_2d[0], resolution=10)
+        with pytest.raises(DimensionalityError):
+            render_density_grid(grid, query=np.zeros(3))
+
+
+class TestRenderScatter:
+    def test_basic(self, blob_2d):
+        points, center = blob_2d
+        text = render_scatter(points, query=center, width=30, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert "Q" in text
+        assert "." in text or "o" in text
+
+    def test_highlight(self, blob_2d):
+        points, _ = blob_2d
+        mask = np.zeros(len(points), dtype=bool)
+        mask[:50] = True
+        text = render_scatter(points, highlight=mask)
+        assert "*" in text
+
+    def test_wrong_shape(self):
+        with pytest.raises(DimensionalityError):
+            render_scatter(np.zeros((5, 3)))
+
+
+class TestRenderSortedSeries:
+    def test_basic(self):
+        values = np.concatenate([np.full(20, 0.95), np.zeros(80)])
+        text = render_sorted_series(values, label="P")
+        assert text.startswith("P: max=0.950")
+        assert "#" in text
+
+    def test_empty(self):
+        assert "(empty)" in render_sorted_series(np.array([]))
+
+
+class TestExport:
+    def test_density_grid_csv(self, blob_2d, tmp_path):
+        grid = DensityGrid(blob_2d[0], resolution=5)
+        path = export_density_grid(grid, tmp_path / "grid.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y", "density"]
+        assert len(rows) == 1 + 25
+
+    def test_scatter_csv(self, tmp_path):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        path = export_scatter(pts, tmp_path / "s.csv", labels=np.array([0, 1]))
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y", "label"]
+        assert rows[2] == ["3", "4", "1"]
+
+    def test_series_csv(self, tmp_path):
+        path = export_series(
+            {"a": [1.0, 2.0], "b": [3.0]}, tmp_path / "series.csv"
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "3"]
+        assert rows[2] == ["2", ""]
+
+    def test_table_csv(self, tmp_path):
+        rows_in = [{"x": 1, "y": "a"}, {"x": 2, "z": True}]
+        path = export_table(rows_in, tmp_path / "t.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y", "z"]
+        assert len(rows) == 3
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_series({"a": [1.0]}, tmp_path / "deep" / "dir" / "f.csv")
+        assert path.exists()
