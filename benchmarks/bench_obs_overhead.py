@@ -1,0 +1,134 @@
+"""Observability overhead — the disabled path must be ~free.
+
+The whole point of baking spans and counters into the hot paths
+(``docs/OBSERVABILITY.md``) is that they cost nothing when no tracer is
+active.  This microbenchmark pins that down on a medium synthetic
+workload:
+
+1. run one full interactive query **with tracing** to count how many
+   spans the workload opens and to emit the per-phase baseline
+   breakdown into ``benchmarks/results/``;
+2. run the identical query **without tracing** to get the production
+   wall time;
+3. measure the per-call cost of the disabled ``span()`` fast path
+   directly (a module-global load + comparison) and assert that
+   ``spans_opened * disabled_cost`` is under 5% of the production
+   runtime.
+
+The estimate deliberately over-counts: it charges the *call-site*
+cost (including keyword-dict construction) for every span the traced
+run opened, which upper-bounds what the untraced run actually paid.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import InteractiveNNSearch, OracleUser, SearchConfig
+from repro.data.synthetic import ProjectedClusterSpec, generate_projected_clusters
+from repro.obs import REGISTRY, span, tracing_enabled
+
+from bench_utils import format_table, report, report_phase_breakdown
+
+#: The ISSUE's acceptance bound on disabled-path overhead.
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _workload():
+    """Medium synthetic workload: 1500 points, 12 dims, 3 clusters."""
+    spec = ProjectedClusterSpec(
+        n_points=1500,
+        dim=12,
+        n_clusters=3,
+        cluster_dim=4,
+        axis_parallel=True,
+        noise_fraction=0.1,
+    )
+    data = generate_projected_clusters(spec, np.random.default_rng(41))
+    ds = data.dataset
+    qi = int(ds.cluster_indices(0)[0])
+    config = SearchConfig(
+        support=20, min_major_iterations=2, max_major_iterations=2
+    )
+    return ds, qi, config
+
+
+def _run_once(ds, qi, config, *, trace: bool):
+    user = OracleUser(ds, qi)
+    start = time.perf_counter()
+    result = InteractiveNNSearch(ds, config).run(
+        ds.points[qi], user, trace=trace
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def _disabled_span_cost(iterations: int = 200_000) -> float:
+    """Mean seconds per disabled ``span()`` call (with attributes)."""
+    assert not tracing_enabled()
+    start = time.perf_counter()
+    for index in range(iterations):
+        with span("bench.noop", index=index):
+            pass
+    return (time.perf_counter() - start) / iterations
+
+
+def test_disabled_instrumentation_overhead(results_dir):
+    ds, qi, config = _workload()
+
+    # Warm-up: JIT-free Python, but numpy caches and allocator pools
+    # still deserve one pass so both timed runs see the same state.
+    _run_once(ds, qi, config, trace=False)
+
+    traced_result, traced_seconds = _run_once(ds, qi, config, trace=True)
+    assert traced_result.trace is not None
+    spans_opened = sum(1 for _ in traced_result.trace.iter_spans())
+
+    plain_result, plain_seconds = _run_once(ds, qi, config, trace=False)
+    assert plain_result.trace is None
+    # Tracing must not perturb the search outcome.
+    assert np.array_equal(
+        plain_result.neighbor_indices, traced_result.neighbor_indices
+    )
+
+    per_span = _disabled_span_cost()
+    estimated_overhead = spans_opened * per_span
+    fraction = estimated_overhead / plain_seconds
+
+    report(
+        "obs_overhead",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["workload", "1500 pts, 12 dims, 2 major iterations"],
+                ["untraced run (s)", f"{plain_seconds:.3f}"],
+                ["traced run (s)", f"{traced_seconds:.3f}"],
+                ["spans opened (traced)", spans_opened],
+                ["disabled span cost (ns)", f"{per_span * 1e9:.0f}"],
+                ["estimated disabled overhead (s)", f"{estimated_overhead:.6f}"],
+                ["overhead fraction", f"{fraction:.4%}"],
+                ["bound", f"{MAX_OVERHEAD_FRACTION:.0%}"],
+            ],
+        ),
+    )
+    report_phase_breakdown("obs_overhead_workload", traced_result.trace)
+
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"disabled instrumentation overhead {fraction:.2%} exceeds "
+        f"{MAX_OVERHEAD_FRACTION:.0%} "
+        f"({spans_opened} spans x {per_span * 1e9:.0f} ns "
+        f"vs {plain_seconds:.3f} s workload)"
+    )
+
+
+def test_counters_populated_by_workload():
+    """The always-on counters move when a search runs."""
+    runs = REGISTRY.counter("search.runs")
+    minors = REGISTRY.counter("search.minor_iterations")
+    before_runs, before_minors = runs.value, minors.value
+    ds, qi, config = _workload()
+    _run_once(ds, qi, config, trace=False)
+    assert runs.value == before_runs + 1
+    assert minors.value > before_minors

@@ -4,10 +4,16 @@ Every benchmark regenerates one table or figure of the paper.  Results
 are printed to stdout (run with ``pytest benchmarks/ --benchmark-only
 -s`` to see them live) and persisted under ``benchmarks/results/`` so
 ``EXPERIMENTS.md`` can reference stable artifacts.
+
+:func:`report_phase_breakdown` renders a :class:`repro.obs.TraceReport`
+as a per-phase timing table (count, total/mean wall, self time) and
+persists both the table and the machine-readable aggregate JSON — the
+baseline artifact future performance PRs diff against.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -20,6 +26,38 @@ def report(name: str, text: str) -> None:
     sys.stdout.write(banner)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def report_phase_breakdown(name: str, trace_report) -> dict:
+    """Persist a per-phase breakdown of a completed trace.
+
+    Writes ``{name}_phases.txt`` (human table, also printed) and
+    ``{name}_phases.json`` (the raw aggregate) under
+    ``benchmarks/results/``.  Returns the aggregate dictionary
+    (span name -> count / wall_total / wall_mean / cpu_total /
+    self_wall_total).
+    """
+    agg = trace_report.aggregate()
+    rows = [
+        [
+            span_name,
+            int(entry["count"]),
+            f"{entry['wall_total'] * 1e3:.2f}",
+            f"{entry['wall_mean'] * 1e3:.3f}",
+            f"{entry['self_wall_total'] * 1e3:.2f}",
+        ]
+        for span_name, entry in sorted(
+            agg.items(), key=lambda item: -item[1]["wall_total"]
+        )
+    ]
+    text = format_table(
+        ["phase", "count", "total ms", "mean ms", "self ms"], rows
+    )
+    report(f"{name}_phases", text)
+    (RESULTS_DIR / f"{name}_phases.json").write_text(
+        json.dumps(agg, indent=2, sort_keys=True)
+    )
+    return agg
 
 
 def format_table(headers: list[str], rows: list[list[object]]) -> str:

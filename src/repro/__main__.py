@@ -12,6 +12,19 @@ Commands
     Start an interactive terminal session — you are the user.
 ``info``
     Print version and configuration defaults.
+
+Observability flags (accepted before or after the subcommand)
+-------------------------------------------------------------
+``-v`` / ``-vv``
+    Structured logging at INFO / DEBUG on the ``repro.*`` hierarchy.
+``--trace``
+    Trace the command and print an ASCII flame summary afterwards.
+``--trace-out PATH``
+    Trace the command and write the trace to *PATH* (implies
+    ``--trace``).  ``--trace-format chrome`` writes the Chrome
+    ``chrome://tracing`` event format instead of the default JSON.
+
+See ``docs/OBSERVABILITY.md`` for the span and metric inventory.
 """
 
 from __future__ import annotations
@@ -20,6 +33,26 @@ import argparse
 import sys
 
 import numpy as np
+
+
+def _print_summary(result) -> None:
+    """Pretty-print a :meth:`SearchResult.summary` block."""
+    summary = result.summary()
+    print("run summary:")
+    for key in (
+        "major_iterations",
+        "total_views",
+        "accepted_views",
+        "acceptance_rate",
+        "pruning_trajectory",
+        "final_overlap",
+        "mean_selected_per_view",
+        "termination_reason",
+    ):
+        value = summary[key]
+        if isinstance(value, float):
+            value = f"{value:.3f}"
+        print(f"  {key:<24} {value}")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -48,6 +81,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"neighbors found: {neighbors.size} (true cluster {truth.size})")
     print(f"precision {quality.precision:.1%}, recall {quality.recall:.1%}")
     print(f"diagnosis: {diagnose(result).explanation}")
+    _print_summary(result)
     if args.save:
         from repro.core.serialization import save_result
 
@@ -133,6 +167,7 @@ def _session_inline(args: argparse.Namespace) -> int:
     )
     truth = dataset.cluster_indices(dataset.label_of(query_index))
     print(f"\nnatural cluster: {neighbors.size} points (truth {truth.size})")
+    _print_summary(result)
     return 0
 
 
@@ -147,41 +182,122 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observability_parent() -> argparse.ArgumentParser:
+    """Shared ``-v`` / ``--trace`` / ``--trace-out`` flags.
+
+    Defaults use ``argparse.SUPPRESS`` so the flags can be given either
+    before or after the subcommand without the subparser's default
+    clobbering a value parsed at the top level; :func:`main` reads them
+    with ``getattr`` fallbacks.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=argparse.SUPPRESS,
+        help="log to stderr (-v: INFO, -vv: DEBUG)",
+    )
+    group.add_argument(
+        "--trace",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="trace the command and print an ASCII flame summary",
+    )
+    group.add_argument(
+        "--trace-out",
+        type=str,
+        metavar="PATH",
+        default=argparse.SUPPRESS,
+        help="write the trace to PATH (implies --trace)",
+    )
+    group.add_argument(
+        "--trace-format",
+        choices=("json", "chrome"),
+        default=argparse.SUPPRESS,
+        help="trace file format for --trace-out (default: json)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    common = _observability_parent()
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Interactive high-dimensional nearest neighbor search",
+        parents=[common],
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="oracle-driven quickstart")
+    demo = sub.add_parser(
+        "demo", help="oracle-driven quickstart", parents=[common]
+    )
     demo.add_argument("--points", type=int, default=2000)
     demo.add_argument("--support", type=int, default=25)
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--save", type=str, default="", help="archive JSON path")
     demo.set_defaults(func=_cmd_demo)
 
-    diag = sub.add_parser("diagnose", help="uniform vs clustered diagnosis")
+    diag = sub.add_parser(
+        "diagnose", help="uniform vs clustered diagnosis", parents=[common]
+    )
     diag.add_argument("--points", type=int, default=3000)
     diag.add_argument("--seed", type=int, default=13)
     diag.set_defaults(func=_cmd_diagnose)
 
-    session = sub.add_parser("session", help="interactive terminal session")
+    session = sub.add_parser(
+        "session", help="interactive terminal session", parents=[common]
+    )
     session.add_argument("--points", type=int, default=800)
     session.add_argument("--seed", type=int, default=77)
     session.set_defaults(func=_session_inline)
 
-    info = sub.add_parser("info", help="version and defaults")
+    info = sub.add_parser("info", help="version and defaults", parents=[common])
     info.set_defaults(func=_cmd_info)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from repro.obs import (
+        ascii_flame,
+        configure_logging,
+        finish_trace,
+        save_chrome_trace,
+        save_trace,
+        start_trace,
+    )
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    verbosity = getattr(args, "verbose", 0)
+    if verbosity:
+        configure_logging(verbosity)
+    trace_out = getattr(args, "trace_out", None)
+    tracing = bool(getattr(args, "trace", False)) or trace_out is not None
+    if not tracing:
+        return args.func(args)
+
+    start_trace(command=args.command, argv=list(argv) if argv else [])
+    try:
+        code = args.func(args)
+    finally:
+        report = finish_trace()
+    if report is None:  # pragma: no cover - defensive
+        return code
+    span_count = sum(1 for _ in report.iter_spans())
+    if trace_out:
+        if getattr(args, "trace_format", "json") == "chrome":
+            path = save_chrome_trace(report, trace_out)
+        else:
+            path = save_trace(report, trace_out)
+        print(f"trace written to {path} ({span_count} spans)")
+    else:
+        print()
+        print(ascii_flame(report))
+    return code
 
 
 if __name__ == "__main__":

@@ -14,6 +14,10 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError
 from repro.geometry.distances import MetricFn, euclidean_distance, nearest_neighbors
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+
+_QUERIES = counter("baseline.full_dim.queries")
 
 
 @dataclass(frozen=True)
@@ -63,13 +67,17 @@ class FullDimensionalKNN:
         """
         if k <= 0:
             raise ConfigurationError("k must be positive")
-        points = self._dataset.points
-        if exclude_index is None:
-            idx, dists = nearest_neighbors(points, query, k, metric=self._metric)
-            return KNNResult(neighbor_indices=idx, distances=dists)
-        keep = np.arange(self._dataset.size) != exclude_index
-        candidates = np.flatnonzero(keep)
-        idx, dists = nearest_neighbors(
-            points[candidates], query, k, metric=self._metric
-        )
-        return KNNResult(neighbor_indices=candidates[idx], distances=dists)
+        _QUERIES.inc()
+        with span(
+            "baseline.full_dim.query", n=int(self._dataset.size), k=int(k)
+        ):
+            points = self._dataset.points
+            if exclude_index is None:
+                idx, dists = nearest_neighbors(points, query, k, metric=self._metric)
+                return KNNResult(neighbor_indices=idx, distances=dists)
+            keep = np.arange(self._dataset.size) != exclude_index
+            candidates = np.flatnonzero(keep)
+            idx, dists = nearest_neighbors(
+                points[candidates], query, k, metric=self._metric
+            )
+            return KNNResult(neighbor_indices=candidates[idx], distances=dists)

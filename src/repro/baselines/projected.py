@@ -19,6 +19,10 @@ from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError
 from repro.geometry.distances import k_smallest_indices
 from repro.geometry.subspace import Subspace
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+
+_QUERIES = counter("baseline.projected.queries")
 
 
 class ProjectedNN:
@@ -109,12 +113,19 @@ class ProjectedNN:
         """Top-``k`` neighbors under the single optimal projection."""
         if k <= 0:
             raise ConfigurationError("k must be positive")
-        projection = self.find_projection(query)
-        coords = projection.project(self._dataset.points)
-        q2 = projection.project(np.asarray(query, dtype=float))
-        dists = np.sqrt(np.square(coords - q2).sum(axis=1))
-        if exclude_index is not None:
-            dists = dists.copy()
-            dists[exclude_index] = np.inf
-        idx = k_smallest_indices(dists, k)
-        return KNNResult(neighbor_indices=idx, distances=dists[idx])
+        _QUERIES.inc()
+        with span(
+            "baseline.projected.query",
+            n=int(self._dataset.size),
+            k=int(k),
+            projection_dim=self._projection_dim,
+        ):
+            projection = self.find_projection(query)
+            coords = projection.project(self._dataset.points)
+            q2 = projection.project(np.asarray(query, dtype=float))
+            dists = np.sqrt(np.square(coords - q2).sum(axis=1))
+            if exclude_index is not None:
+                dists = dists.copy()
+                dists[exclude_index] = np.inf
+            idx = k_smallest_indices(dists, k)
+            return KNNResult(neighbor_indices=idx, distances=dists[idx])

@@ -18,6 +18,10 @@ from repro.analysis.quality import natural_neighbors
 from repro.core.search import InteractiveNNSearch, SearchResult
 from repro.exceptions import ConfigurationError
 from repro.interaction.base import UserAgent
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
+
+_log = get_logger("core.batch")
 
 UserFactory = Callable[[int], UserAgent]
 
@@ -110,23 +114,30 @@ def run_batch(
         raise ConfigurationError("query_indices must be non-empty")
     dataset = search.dataset
     entries = []
-    for query_index in indices.tolist():
-        if not 0 <= query_index < dataset.size:
-            raise ConfigurationError(
-                f"query index {query_index} out of range for {dataset.size}"
+    with span("search.batch", queries=int(indices.size)):
+        for query_index in indices.tolist():
+            if not 0 <= query_index < dataset.size:
+                raise ConfigurationError(
+                    f"query index {query_index} out of range for {dataset.size}"
+                )
+            user = user_factory(query_index)
+            result = search.run(dataset.points[query_index], user)
+            neighbors = natural_neighbors(
+                result.probabilities,
+                iterations=len(result.session.major_records),
             )
-        user = user_factory(query_index)
-        result = search.run(dataset.points[query_index], user)
-        neighbors = natural_neighbors(
-            result.probabilities,
-            iterations=len(result.session.major_records),
-        )
-        entries.append(
-            BatchEntry(
-                query_index=query_index,
-                result=result,
-                neighbors=neighbors,
-                diagnosis=diagnose(result),
+            _log.debug(
+                "batch query %d: %d natural neighbors, %s",
+                query_index,
+                neighbors.size,
+                result.reason.value,
             )
-        )
+            entries.append(
+                BatchEntry(
+                    query_index=query_index,
+                    result=result,
+                    neighbors=neighbors,
+                    diagnosis=diagnose(result),
+                )
+            )
     return BatchResult(entries=tuple(entries))

@@ -26,6 +26,10 @@ from repro.exceptions import DimensionalityError, SubspaceError
 from repro.geometry.distances import k_smallest_indices
 from repro.geometry.pca import axis_discrimination_ratios, discrimination_ratios
 from repro.geometry.subspace import Subspace
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+
+_REFINEMENTS = counter("projection.refinements")
 
 
 @dataclass(frozen=True)
@@ -117,31 +121,43 @@ def find_query_centered_projection(
     n, l_c = coords.shape
     support = max(1, min(support, n))
 
-    best: tuple[float, np.ndarray, np.ndarray, tuple[int, ...]] | None = None
-    for attempt in range(restarts):
-        if attempt == 0 or l_c <= 3:
-            seed = np.eye(l_c)
-        elif attempt == 1:
-            seed = _axis_contrast_seed(coords, q_coords, support)
-        else:
-            half = max(2, l_c // 2)
-            chosen = np.sort(rng.choice(l_c, size=half, replace=False))
-            seed = np.zeros((half, l_c))
-            for row, axis in enumerate(chosen):
-                seed[row, axis] = 1.0
-        ep_basis, dims = _refine_projection(
-            coords, q_coords, seed, support, axis_parallel=axis_parallel
-        )
-        offsets = (coords - q_coords) @ ep_basis.T
-        dists = np.sqrt(np.square(offsets).sum(axis=1))
-        cluster_idx = k_smallest_indices(dists, support)
-        score = _view_score(dists, cluster_idx, coords @ ep_basis.T)
-        if best is None or score < best[0]:
-            best = (score, ep_basis, cluster_idx, dims)
+    with span(
+        "projection.find",
+        n=int(n),
+        current_dim=int(l_c),
+        restarts=restarts,
+        axis_parallel=axis_parallel,
+    ) as find_span:
+        best: tuple[float, np.ndarray, np.ndarray, tuple[int, ...]] | None = None
+        for attempt in range(restarts):
+            _REFINEMENTS.inc()
+            if attempt == 0 or l_c <= 3:
+                seed = np.eye(l_c)
+            elif attempt == 1:
+                seed = _axis_contrast_seed(coords, q_coords, support)
+            else:
+                half = max(2, l_c // 2)
+                chosen = np.sort(rng.choice(l_c, size=half, replace=False))
+                seed = np.zeros((half, l_c))
+                for row, axis in enumerate(chosen):
+                    seed[row, axis] = 1.0
+            with span("projection.refine", attempt=attempt):
+                ep_basis, dims = _refine_projection(
+                    coords, q_coords, seed, support, axis_parallel=axis_parallel
+                )
+            offsets = (coords - q_coords) @ ep_basis.T
+            dists = np.sqrt(np.square(offsets).sum(axis=1))
+            cluster_idx = k_smallest_indices(dists, support)
+            score = _view_score(dists, cluster_idx, coords @ ep_basis.T)
+            if best is None or score < best[0]:
+                best = (score, ep_basis, cluster_idx, dims)
 
-    _, ep_basis, cluster_idx, dims = best
-    projection = Subspace(ep_basis @ current.basis)
-    remainder = _remainder_subspace(projection, current, axis_parallel=axis_parallel)
+        _, ep_basis, cluster_idx, dims = best
+        projection = Subspace(ep_basis @ current.basis)
+        remainder = _remainder_subspace(
+            projection, current, axis_parallel=axis_parallel
+        )
+        find_span.set(refinement_dims=list(dims), best_score=float(best[0]))
     return ProjectionSearchResult(
         projection=projection,
         remainder=remainder,

@@ -11,8 +11,9 @@ points with the highest probabilities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import Any
 
 import numpy as np
 
@@ -34,6 +35,19 @@ from repro.density.profiles import VisualProfile
 from repro.exceptions import DimensionalityError
 from repro.geometry.subspace import Subspace
 from repro.interaction.base import ProjectionView, UserAgent, validate_decision
+from repro.obs.logging import get_logger
+from repro.obs.metrics import counter
+from repro.obs.trace import TraceReport, Tracer, current_tracer, span
+
+_log = get_logger("core.search")
+
+# Process-wide counters of interactive-loop activity (always live —
+# one guarded integer add each; see docs/OBSERVABILITY.md).
+_RUNS = counter("search.runs")
+_MAJORS = counter("search.major_iterations")
+_MINORS = counter("search.minor_iterations")
+_ACCEPTED = counter("search.accepted_views")
+_PRUNED = counter("search.pruned_points")
 
 
 class TerminationReason(Enum):
@@ -63,6 +77,11 @@ class SearchResult:
         Full audit trail of the run.
     reason:
         Why the run terminated.
+    trace:
+        Per-phase timing trace of the run, populated only when the
+        search was executed with ``run(..., trace=True)`` (and no
+        ambient tracer was already active); ``None`` otherwise.
+        Tracing never alters the search outcome.
     """
 
     neighbor_indices: np.ndarray
@@ -70,11 +89,16 @@ class SearchResult:
     support: int
     session: SearchSession = field(hash=False)
     reason: TerminationReason = TerminationReason.STABLE
+    trace: TraceReport | None = field(default=None, hash=False, compare=False)
 
     @property
     def neighbor_probabilities(self) -> np.ndarray:
         """Probabilities of the returned neighbors, descending."""
         return self.probabilities[self.neighbor_indices]
+
+    def summary(self) -> dict[str, Any]:
+        """Compact run summary (see :meth:`SearchSession.summary`)."""
+        return self.session.summary(reason=self.reason.value)
 
 
 class InteractiveNNSearch:
@@ -103,7 +127,9 @@ class InteractiveNNSearch:
         return self._config
 
     # ------------------------------------------------------------------
-    def run(self, query: np.ndarray, user: UserAgent) -> SearchResult:
+    def run(
+        self, query: np.ndarray, user: UserAgent, *, trace: bool = False
+    ) -> SearchResult:
         """Execute the full interactive loop for one query.
 
         Parameters
@@ -112,11 +138,27 @@ class InteractiveNNSearch:
             ``(d,)`` query point ``Q`` in ambient coordinates.
         user:
             Any :class:`~repro.interaction.base.UserAgent`.
+        trace:
+            Record a per-phase timing trace of this run and attach it
+            as :attr:`SearchResult.trace`.  When an ambient tracer is
+            already active (e.g. the CLI's ``--trace`` flag), the run's
+            spans join that trace instead and ``result.trace`` stays
+            ``None``.  Tracing is purely observational: the returned
+            neighbors are identical with or without it.
 
         Returns
         -------
         SearchResult
         """
+        if trace and current_tracer() is None:
+            tracer = Tracer(kind="search.run")
+            with tracer.activate():
+                result = self._execute(query, user)
+            return replace(result, trace=tracer.report())
+        return self._execute(query, user)
+
+    def _execute(self, query: np.ndarray, user: UserAgent) -> SearchResult:
+        """The interactive loop proper (tracing-agnostic)."""
         q = np.asarray(query, dtype=float)
         d = self._dataset.dim
         if q.shape != (d,):
@@ -140,53 +182,98 @@ class InteractiveNNSearch:
         reason = TerminationReason.ITERATION_LIMIT
         rng = np.random.default_rng(config.rng_seed)
 
-        for major in range(config.max_major_iterations):
-            if live.size < 3:
-                reason = TerminationReason.EXHAUSTED
-                break
-            counter = PreferenceCounter(n)
-            self._run_major_iteration(
-                major, live, q, user, counter, session, views_per_major, rng
-            )
-            population = live.size if config.use_live_population else n
-            stats = iteration_statistics(
-                np.asarray(counter.pick_sizes, dtype=float),
-                population,
-                weights=np.asarray(counter.weights, dtype=float),
-            )
-            accumulator.update(live, counter.counts_for(live), stats)
-            probabilities = accumulator.averages()
-            stop = termination.should_stop(probabilities)
-
-            live_after = self._prune(live, counter)
-            session.record_major(
-                MajorIterationRecord(
-                    index=major,
-                    live_count_before=live.size,
-                    live_count_after=live_after.size,
-                    pick_counts=tuple(counter.pick_sizes),
-                    expected=stats.expected,
-                    variance=stats.variance,
-                    accepted_views=sum(1 for s_ in counter.pick_sizes if s_ > 0),
-                    overlap=termination.last_overlap,
-                ),
-                probabilities,
-            )
-            live = live_after
-            if stop:
-                reason = (
-                    TerminationReason.STABLE
-                    if termination.iterations < config.max_major_iterations
-                    or (
-                        termination.last_overlap is not None
-                        and termination.last_overlap >= config.overlap_threshold
+        _RUNS.inc()
+        _log.info(
+            "search start: n=%d d=%d support=%d views/major=%d",
+            n,
+            d,
+            support,
+            views_per_major,
+        )
+        with span(
+            "search.run", n=n, dim=d, support=support, views_per_major=views_per_major
+        ) as run_span:
+            for major in range(config.max_major_iterations):
+                if live.size < 3:
+                    reason = TerminationReason.EXHAUSTED
+                    break
+                _MAJORS.inc()
+                counter = PreferenceCounter(n)
+                with span(
+                    "search.major", index=major, live_before=int(live.size)
+                ) as major_span:
+                    self._run_major_iteration(
+                        major, live, q, user, counter, session, views_per_major, rng
                     )
-                    else TerminationReason.ITERATION_LIMIT
-                )
-                break
+                    with span("search.statistics"):
+                        population = live.size if config.use_live_population else n
+                        stats = iteration_statistics(
+                            np.asarray(counter.pick_sizes, dtype=float),
+                            population,
+                            weights=np.asarray(counter.weights, dtype=float),
+                        )
+                        accumulator.update(live, counter.counts_for(live), stats)
+                        probabilities = accumulator.averages()
+                        stop = termination.should_stop(probabilities)
 
-        probabilities = accumulator.averages()
-        top = accumulator.top_indices(support)
+                    with span("search.prune"):
+                        live_after = self._prune(live, counter)
+                    _PRUNED.inc(int(live.size - live_after.size))
+                    major_span.set(
+                        live_after=int(live_after.size),
+                        accepted_views=sum(
+                            1 for s_ in counter.pick_sizes if s_ > 0
+                        ),
+                        overlap=termination.last_overlap,
+                    )
+                session.record_major(
+                    MajorIterationRecord(
+                        index=major,
+                        live_count_before=live.size,
+                        live_count_after=live_after.size,
+                        pick_counts=tuple(counter.pick_sizes),
+                        expected=stats.expected,
+                        variance=stats.variance,
+                        accepted_views=sum(1 for s_ in counter.pick_sizes if s_ > 0),
+                        overlap=termination.last_overlap,
+                    ),
+                    probabilities,
+                )
+                _log.debug(
+                    "major %d: live %d -> %d, overlap=%s",
+                    major,
+                    live.size,
+                    live_after.size,
+                    termination.last_overlap,
+                )
+                live = live_after
+                if stop:
+                    reason = (
+                        TerminationReason.STABLE
+                        if termination.iterations < config.max_major_iterations
+                        or (
+                            termination.last_overlap is not None
+                            and termination.last_overlap
+                            >= config.overlap_threshold
+                        )
+                        else TerminationReason.ITERATION_LIMIT
+                    )
+                    break
+
+            probabilities = accumulator.averages()
+            top = accumulator.top_indices(support)
+            run_span.set(
+                reason=reason.value,
+                major_iterations=len(session.major_records),
+                total_views=session.total_views,
+            )
+        _log.info(
+            "search done: %s after %d major iterations (%d views, %d accepted)",
+            reason.value,
+            len(session.major_records),
+            session.total_views,
+            session.accepted_views,
+        )
         return SearchResult(
             neighbor_indices=top,
             probabilities=probabilities,
@@ -216,39 +303,54 @@ class InteractiveNNSearch:
         for minor in range(views_per_major):
             if current.dim < 2:
                 break
-            found = find_query_centered_projection(
-                points,
-                query,
-                current,
-                support,
-                axis_parallel=config.axis_parallel,
-                restarts=config.projection_restarts,
-                rng=rng,
-            )
-            projected = found.projection.project(points)
-            query_2d = found.projection.project(query)
-            profile = VisualProfile.build(
-                projected,
-                query_2d,
-                resolution=config.grid_resolution,
-                bandwidth_scale=config.bandwidth_scale,
-            )
-            view = ProjectionView(
-                profile=profile,
-                projected_points=projected,
-                query_2d=query_2d,
-                subspace=found.projection,
-                live_indices=live,
-                major_index=major,
-                minor_index=minor,
-                total_points=self._dataset.size,
-            )
-            decision = validate_decision(user.review_view(view), view)
-            counter.record(
-                live,
-                decision.selected_mask,
-                weight=config.projection_weight * decision.weight,
-            )
+            _MINORS.inc()
+            with span(
+                "search.minor",
+                major=major,
+                minor=minor,
+                live=int(live.size),
+                current_dim=current.dim,
+            ) as minor_span:
+                found = find_query_centered_projection(
+                    points,
+                    query,
+                    current,
+                    support,
+                    axis_parallel=config.axis_parallel,
+                    restarts=config.projection_restarts,
+                    rng=rng,
+                )
+                projected = found.projection.project(points)
+                query_2d = found.projection.project(query)
+                profile = VisualProfile.build(
+                    projected,
+                    query_2d,
+                    resolution=config.grid_resolution,
+                    bandwidth_scale=config.bandwidth_scale,
+                )
+                view = ProjectionView(
+                    profile=profile,
+                    projected_points=projected,
+                    query_2d=query_2d,
+                    subspace=found.projection,
+                    live_indices=live,
+                    major_index=major,
+                    minor_index=minor,
+                    total_points=self._dataset.size,
+                )
+                with span("user.decision"):
+                    decision = validate_decision(user.review_view(view), view)
+                if decision.accepted:
+                    _ACCEPTED.inc()
+                minor_span.set(
+                    accepted=decision.accepted,
+                    selected=decision.selected_count,
+                )
+                counter.record(
+                    live,
+                    decision.selected_mask,
+                    weight=config.projection_weight * decision.weight,
+                )
             session.record_minor(
                 MinorIterationRecord(
                     major_index=major,

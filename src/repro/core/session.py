@@ -11,6 +11,7 @@ quality (Figs. 10-11) are verified directly from these records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -129,6 +130,53 @@ class SearchSession:
             for record in self.minor_records
             if record.major_index == major_index
         ]
+
+    def summary(self, *, reason: str | None = None) -> dict[str, Any]:
+        """Compact, JSON-compatible digest of the run.
+
+        Parameters
+        ----------
+        reason:
+            Optional termination reason string (the session itself does
+            not know why the driver stopped; ``SearchResult.summary``
+            passes it in).
+
+        Returns a dictionary with:
+
+        * ``major_iterations`` / ``total_views`` / ``accepted_views``
+        * ``acceptance_rate`` — accepted / total views (0.0 when no
+          views were shown)
+        * ``pruning_trajectory`` — live-set size before each major
+          iteration plus the final size after the last pruning step
+        * ``final_overlap`` — last top-``s`` overlap (None early)
+        * ``mean_selected_per_view`` — average query-cluster size over
+          accepted views (0.0 when none)
+        * ``termination_reason`` — the *reason* argument, passed through
+        """
+        total = self.total_views
+        accepted = self.accepted_views
+        trajectory = [record.live_count_before for record in self.major_records]
+        if self.major_records:
+            trajectory.append(self.major_records[-1].live_count_after)
+        selected = [
+            record.selected_count
+            for record in self.minor_records
+            if record.accepted
+        ]
+        return {
+            "major_iterations": len(self.major_records),
+            "total_views": total,
+            "accepted_views": accepted,
+            "acceptance_rate": accepted / total if total else 0.0,
+            "pruning_trajectory": trajectory,
+            "final_overlap": (
+                self.major_records[-1].overlap if self.major_records else None
+            ),
+            "mean_selected_per_view": (
+                float(np.mean(selected)) if selected else 0.0
+            ),
+            "termination_reason": reason,
+        }
 
     def profile_quality_by_minor_index(self) -> dict[int, list[float]]:
         """Peak-to-median relief per minor position, across major iterations.

@@ -22,6 +22,14 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+
+_log = get_logger("data")
+
+_ROWS_LOADED = counter("data.load.rows")
+_LINES_SKIPPED = counter("data.load.skipped_lines")
 
 #: Class letter -> label for the ionosphere format.
 IONOSPHERE_CLASSES = {"g": 0, "b": 1}
@@ -52,29 +60,32 @@ def load_ionosphere(path: str | Path) -> Dataset:
     path = Path(path)
     rows: list[list[float]] = []
     labels: list[int] = []
-    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
-        parts = line.split(",")
-        if len(parts) != 35:
-            raise ConfigurationError(
-                f"{path.name}:{line_no}: expected 35 fields, got {len(parts)}"
-            )
-        klass = parts[-1].strip().lower()
-        if klass not in IONOSPHERE_CLASSES:
-            raise ConfigurationError(
-                f"{path.name}:{line_no}: unknown class {klass!r}"
-            )
-        try:
-            rows.append([float(value) for value in parts[:-1]])
-        except ValueError as exc:
-            raise ConfigurationError(
-                f"{path.name}:{line_no}: non-numeric attribute ({exc})"
-            ) from None
-        labels.append(IONOSPHERE_CLASSES[klass])
+    with span("data.load.ionosphere", path=str(path)):
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            if len(parts) != 35:
+                raise ConfigurationError(
+                    f"{path.name}:{line_no}: expected 35 fields, got {len(parts)}"
+                )
+            klass = parts[-1].strip().lower()
+            if klass not in IONOSPHERE_CLASSES:
+                raise ConfigurationError(
+                    f"{path.name}:{line_no}: unknown class {klass!r}"
+                )
+            try:
+                rows.append([float(value) for value in parts[:-1]])
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"{path.name}:{line_no}: non-numeric attribute ({exc})"
+                ) from None
+            labels.append(IONOSPHERE_CLASSES[klass])
     if not rows:
         raise ConfigurationError(f"{path} contains no data rows")
+    _ROWS_LOADED.inc(len(rows))
+    _log.info("loaded %d ionosphere rows from %s", len(rows), path)
     return Dataset(
         points=np.asarray(rows, dtype=float),
         labels=np.asarray(labels, dtype=int),
@@ -88,34 +99,49 @@ def load_segmentation(path: str | Path) -> Dataset:
 
     The format starts with up to five header lines (the class list and
     blank lines), then one ``CLASS,attr1,...,attr19`` row per instance.
-    Header lines are detected by not containing exactly 20 fields.
+    Header lines are detected by not containing exactly 20 fields; each
+    skipped line is logged at WARNING level on the ``repro.data``
+    logger (with the first few characters of the offending line) so a
+    malformed file cannot silently lose data rows.
     """
     path = Path(path)
     rows: list[list[float]] = []
     labels: list[int] = []
     class_index = {name: i for i, name in enumerate(SEGMENTATION_CLASSES)}
-    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
-        parts = line.split(",")
-        if len(parts) != 20:
-            # Header / class-list line; tolerate silently.
-            continue
-        klass = parts[0].strip().upper()
-        if klass not in class_index:
-            raise ConfigurationError(
-                f"{path.name}:{line_no}: unknown class {klass!r}"
-            )
-        try:
-            rows.append([float(value) for value in parts[1:]])
-        except ValueError as exc:
-            raise ConfigurationError(
-                f"{path.name}:{line_no}: non-numeric attribute ({exc})"
-            ) from None
-        labels.append(class_index[klass])
+    with span("data.load.segmentation", path=str(path)):
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            if len(parts) != 20:
+                # Header / class-list line: skip, but say so — a data
+                # row with the wrong arity would otherwise vanish.
+                _LINES_SKIPPED.inc()
+                _log.warning(
+                    "%s:%d: skipping non-data line (%d fields, expected 20): %.40s",
+                    path.name,
+                    line_no,
+                    len(parts),
+                    line,
+                )
+                continue
+            klass = parts[0].strip().upper()
+            if klass not in class_index:
+                raise ConfigurationError(
+                    f"{path.name}:{line_no}: unknown class {klass!r}"
+                )
+            try:
+                rows.append([float(value) for value in parts[1:]])
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"{path.name}:{line_no}: non-numeric attribute ({exc})"
+                ) from None
+            labels.append(class_index[klass])
     if not rows:
         raise ConfigurationError(f"{path} contains no data rows")
+    _ROWS_LOADED.inc(len(rows))
+    _log.info("loaded %d segmentation rows from %s", len(rows), path)
     return Dataset(
         points=np.asarray(rows, dtype=float),
         labels=np.asarray(labels, dtype=int),
@@ -149,28 +175,42 @@ def load_csv_dataset(
         Dataset name (defaults to the file stem).
     """
     path = Path(path)
-    try:
-        raw = np.loadtxt(
-            path,
-            delimiter=delimiter,
-            skiprows=skip_header,
-            dtype=float,
-            ndmin=2,
-        )
-    except ValueError as exc:
-        raise ConfigurationError(
-            f"{path} contains non-numeric cells ({exc})"
-        ) from None
+    with span("data.load.csv", path=str(path)):
+        try:
+            raw = np.loadtxt(
+                path,
+                delimiter=delimiter,
+                skiprows=skip_header,
+                dtype=float,
+                ndmin=2,
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{path} contains non-numeric cells ({exc})"
+            ) from None
     if raw.size == 0:
         raise ConfigurationError(f"{path} contains no numeric data")
     labels = None
     points = raw
     if label_column is not None:
         column = label_column % raw.shape[1]
-        labels = raw[:, column].astype(int)
+        raw_labels = raw[:, column]
+        labels = raw_labels.astype(int)
+        if not np.allclose(raw_labels, labels):
+            # The integer cast would silently truncate fractional
+            # labels — surface it instead of pretending the column
+            # held class ids.
+            _log.warning(
+                "%s: label column %d holds non-integer values; "
+                "truncating to int",
+                path.name,
+                label_column,
+            )
         points = np.delete(raw, column, axis=1)
         if points.shape[1] == 0:
             raise ConfigurationError("no attribute columns left after label")
+    _ROWS_LOADED.inc(points.shape[0])
+    _log.info("loaded %d csv rows from %s", points.shape[0], path)
     return Dataset(
         points=points,
         labels=labels,

@@ -27,6 +27,10 @@ import numpy as np
 from repro.data.dataset import NOISE_LABEL, Dataset
 from repro.exceptions import ConfigurationError
 from repro.geometry.random_rotation import random_orthogonal_matrix
+from repro.obs.logging import get_logger
+from repro.obs.trace import traced
+
+_log = get_logger("data.synthetic")
 
 
 @dataclass(frozen=True)
@@ -134,6 +138,7 @@ class ProjectedClusterData:
     spec: ProjectedClusterSpec = field(hash=False)
 
 
+@traced("data.generate.projected_clusters")
 def generate_projected_clusters(
     spec: ProjectedClusterSpec, rng: np.random.Generator
 ) -> ProjectedClusterData:
@@ -292,6 +297,7 @@ def case2_dataset(
     return generate_projected_clusters(spec, rng)
 
 
+@traced("data.generate.uniform")
 def uniform_dataset(
     rng: np.random.Generator,
     *,
@@ -314,6 +320,7 @@ def uniform_dataset(
     )
 
 
+@traced("data.generate.gaussian_mixture")
 def gaussian_mixture_dataset(
     rng: np.random.Generator,
     *,

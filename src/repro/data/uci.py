@@ -29,6 +29,10 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError
+from repro.obs.logging import get_logger
+from repro.obs.trace import traced
+
+_log = get_logger("data.uci")
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,7 @@ class ClassStructureSpec:
             raise ConfigurationError("n_subclusters must be positive")
 
 
+@traced("data.generate.class_structured")
 def generate_class_structured(
     spec: ClassStructureSpec, rng: np.random.Generator
 ) -> Dataset:
@@ -107,6 +112,16 @@ def generate_class_structured(
     for label, size in enumerate(sizes):
         size = int(size)
         if size == 0:
+            # Apportionment starved this class entirely — an easy thing
+            # to miss downstream when a workload queries "every class".
+            _log.warning(
+                "%s: class %d received 0 of %d points "
+                "(proportions %s); it will be absent from the dataset",
+                spec.name,
+                label,
+                spec.n_points,
+                spec.class_proportions,
+            )
             continue
         # Informative axes for this class: a random subset of attributes
         # (axis-aligned, as UCI attributes are individually meaningful).

@@ -20,9 +20,16 @@ import numpy as np
 
 from repro.density.grid import DensityGrid
 from repro.exceptions import DimensionalityError
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, counter, histogram
+from repro.obs.trace import span
 
 #: Definition 2.2 requires at least this many corners above threshold.
 MIN_CORNERS_ABOVE = 3
+
+_FLOOD_FILLS = counter("connectivity.flood_fills")
+_FLOOD_FILL_CELLS = histogram(
+    "connectivity.flood_fill.cells", buckets=DEFAULT_SIZE_BUCKETS
+)
 
 
 @dataclass(frozen=True)
@@ -83,24 +90,31 @@ def connected_region(
     q = np.asarray(query, dtype=float)
     if q.shape != (2,):
         raise DimensionalityError("query must be a 2-vector in the projection")
-    qualifies = grid.corners_above(threshold) >= MIN_CORNERS_ABOVE
-    start = grid.cell_of(q)
-    mask = np.zeros_like(qualifies, dtype=bool)
-    if not qualifies[start]:
-        return ConnectedRegion(
-            mask=mask, threshold=threshold, query_cell=start, seeded=False
-        )
-    # BFS flood fill over 4-adjacent qualifying rectangles.
-    rows, cols = qualifies.shape
-    queue: deque[tuple[int, int]] = deque([start])
-    mask[start] = True
-    while queue:
-        i, j = queue.popleft()
-        for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
-            if 0 <= ni < rows and 0 <= nj < cols:
-                if qualifies[ni, nj] and not mask[ni, nj]:
-                    mask[ni, nj] = True
-                    queue.append((ni, nj))
+    _FLOOD_FILLS.inc()
+    with span("connectivity.flood_fill", threshold=float(threshold)) as fill_span:
+        qualifies = grid.corners_above(threshold) >= MIN_CORNERS_ABOVE
+        start = grid.cell_of(q)
+        mask = np.zeros_like(qualifies, dtype=bool)
+        if not qualifies[start]:
+            _FLOOD_FILL_CELLS.observe(0)
+            fill_span.set(cells=0, seeded=False)
+            return ConnectedRegion(
+                mask=mask, threshold=threshold, query_cell=start, seeded=False
+            )
+        # BFS flood fill over 4-adjacent qualifying rectangles.
+        rows, cols = qualifies.shape
+        queue: deque[tuple[int, int]] = deque([start])
+        mask[start] = True
+        while queue:
+            i, j = queue.popleft()
+            for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+                if 0 <= ni < rows and 0 <= nj < cols:
+                    if qualifies[ni, nj] and not mask[ni, nj]:
+                        mask[ni, nj] = True
+                        queue.append((ni, nj))
+        cells = int(mask.sum())
+        _FLOOD_FILL_CELLS.observe(cells)
+        fill_span.set(cells=cells, seeded=True)
     return ConnectedRegion(
         mask=mask, threshold=threshold, query_cell=start, seeded=True
     )

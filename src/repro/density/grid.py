@@ -14,6 +14,12 @@ import numpy as np
 
 from repro.density.kde import KernelDensityEstimator
 from repro.exceptions import ConfigurationError, DimensionalityError
+from repro.obs.metrics import histogram
+from repro.obs.trace import NULL_SPAN, span
+
+#: KDE grid evaluation wall time; populated only while tracing is
+#: active (the disabled path never reads a clock).
+_GRID_EVAL_SECONDS = histogram("kde.grid.eval_seconds")
 
 
 @dataclass(frozen=True)
@@ -85,13 +91,20 @@ class DensityGrid:
             cover = np.vstack([pts, extra])
         lo = cover.min(axis=0)
         hi = cover.max(axis=0)
-        span = np.maximum(hi - lo, 1e-12)
-        lo = lo - padding * span
-        hi = hi + padding * span
+        extent = np.maximum(hi - lo, 1e-12)
+        lo = lo - padding * extent
+        hi = hi + padding * extent
         self._bounds = GridBounds(lo[0], hi[0], lo[1], hi[1])
         self._grid_x = np.linspace(lo[0], hi[0], resolution)
         self._grid_y = np.linspace(lo[1], hi[1], resolution)
-        self._density = self._estimator.evaluate_on_grid(self._grid_x, self._grid_y)
+        with span(
+            "kde.grid", resolution=resolution, n=int(pts.shape[0])
+        ) as grid_span:
+            self._density = self._estimator.evaluate_on_grid(
+                self._grid_x, self._grid_y
+            )
+        if grid_span is not NULL_SPAN:
+            _GRID_EVAL_SECONDS.observe(grid_span.wall)
 
     # ------------------------------------------------------------------
     @property

@@ -15,6 +15,7 @@ import numpy as np
 from repro.density.bandwidth import silverman_bandwidth
 from repro.density.kernels import KernelFn, gaussian_kernel
 from repro.exceptions import ConfigurationError, DimensionalityError, EmptyDatasetError
+from repro.obs.trace import span
 
 BandwidthRule = Callable[[np.ndarray], np.ndarray]
 
@@ -102,11 +103,14 @@ class KernelDensityEstimator:
         h = self._bandwidth
         norm = 1.0 / (n * np.prod(h))
         out = np.empty(w.shape[0])
-        for start in range(0, w.shape[0], batch_size):
-            chunk = w[start : start + batch_size]
-            # (chunk, n, dim) scaled offsets
-            u = (chunk[:, np.newaxis, :] - self._points[np.newaxis, :, :]) / h
-            out[start : start + chunk.shape[0]] = self._kernel(u).sum(axis=1) * norm
+        with span("kde.evaluate", n=int(n), queries=int(w.shape[0])):
+            for start in range(0, w.shape[0], batch_size):
+                chunk = w[start : start + batch_size]
+                # (chunk, n, dim) scaled offsets
+                u = (chunk[:, np.newaxis, :] - self._points[np.newaxis, :, :]) / h
+                out[start : start + chunk.shape[0]] = (
+                    self._kernel(u).sum(axis=1) * norm
+                )
         return out[0] if single else out
 
     def evaluate_on_grid(
@@ -157,6 +161,16 @@ class KernelDensityEstimator:
             raise DimensionalityError("lateral sampling requires a 2-D estimator")
         if count <= 0:
             return np.empty((0, 2))
+        with span("kde.sample_lateral", count=count, resolution=grid_resolution):
+            return self._sample_lateral(count, rng, grid_resolution, padding)
+
+    def _sample_lateral(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        grid_resolution: int,
+        padding: float,
+    ) -> np.ndarray:
         lo = self._points.min(axis=0)
         hi = self._points.max(axis=0)
         span = np.maximum(hi - lo, 1e-12)

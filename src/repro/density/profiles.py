@@ -16,6 +16,10 @@ import numpy as np
 from repro.density.connectivity import connected_region, points_in_region
 from repro.density.grid import DensityGrid
 from repro.exceptions import DimensionalityError
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+
+_PROFILES_BUILT = counter("profile.builds")
 
 
 @dataclass(frozen=True)
@@ -100,16 +104,23 @@ class VisualProfile:
         if q.shape != (2,):
             raise DimensionalityError("query_2d must be a 2-vector")
         pts = np.asarray(projected_points, dtype=float)
-        estimator = None
-        if bandwidth_scale != 1.0:
-            from repro.density.bandwidth import silverman_bandwidth
-            from repro.density.kde import KernelDensityEstimator
+        _PROFILES_BUILT.inc()
+        with span(
+            "profile.build", n=int(pts.shape[0]), resolution=resolution
+        ):
+            estimator = None
+            if bandwidth_scale != 1.0:
+                from repro.density.bandwidth import silverman_bandwidth
+                from repro.density.kde import KernelDensityEstimator
 
-            estimator = KernelDensityEstimator(
-                pts, bandwidth=bandwidth_scale * silverman_bandwidth(pts)
+                estimator = KernelDensityEstimator(
+                    pts, bandwidth=bandwidth_scale * silverman_bandwidth(pts)
+                )
+            grid = DensityGrid(
+                pts, resolution=resolution, include=q, estimator=estimator
             )
-        grid = DensityGrid(pts, resolution=resolution, include=q, estimator=estimator)
-        stats = compute_profile_statistics(grid, q, points=pts)
+            with span("profile.statistics"):
+                stats = compute_profile_statistics(grid, q, points=pts)
         return cls(grid=grid, query_2d=q, statistics=stats)
 
     def query_cluster_indices(

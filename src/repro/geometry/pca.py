@@ -16,6 +16,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import DimensionalityError, EmptyDatasetError
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+
+_DISCRIMINATIONS = counter("geometry.discrimination_calls")
 
 
 @dataclass(frozen=True)
@@ -117,11 +121,13 @@ def discrimination_ratios(
         ``eigenvectors[i]`` (rows); both sorted by ascending ratio, so
         the first entries are the most discriminating directions.
     """
-    pca = principal_components(cluster_points)
-    global_var = variance_along_directions(all_points, pca.eigenvectors)
-    ratios = pca.eigenvalues / np.maximum(global_var, eps)
-    order = np.argsort(ratios, kind="stable")
-    return ratios[order], pca.eigenvectors[order]
+    _DISCRIMINATIONS.inc()
+    with span("geometry.discrimination", dim=int(np.shape(all_points)[-1])):
+        pca = principal_components(cluster_points)
+        global_var = variance_along_directions(all_points, pca.eigenvectors)
+        ratios = pca.eigenvalues / np.maximum(global_var, eps)
+        order = np.argsort(ratios, kind="stable")
+        return ratios[order], pca.eigenvectors[order]
 
 
 def axis_discrimination_ratios(
@@ -145,8 +151,10 @@ def axis_discrimination_ratios(
     data = np.asarray(all_points, dtype=float)
     if cluster.shape[0] == 0:
         raise EmptyDatasetError("empty query cluster")
-    cluster_var = cluster.var(axis=0)
-    global_var = np.maximum(data.var(axis=0), eps)
-    ratios = cluster_var / global_var
-    order = np.argsort(ratios, kind="stable")
-    return ratios[order], order
+    _DISCRIMINATIONS.inc()
+    with span("geometry.discrimination", dim=int(data.shape[1]), axis_parallel=True):
+        cluster_var = cluster.var(axis=0)
+        global_var = np.maximum(data.var(axis=0), eps)
+        ratios = cluster_var / global_var
+        order = np.argsort(ratios, kind="stable")
+        return ratios[order], order

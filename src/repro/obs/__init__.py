@@ -1,0 +1,93 @@
+"""repro.obs — zero-dependency observability for the search pipeline.
+
+Three cooperating pieces:
+
+* :mod:`repro.obs.trace` — span-based tracer with a context-manager /
+  decorator API, nested spans, wall + CPU time, per-span attributes,
+  and a module-level no-op fast path when disabled.
+* :mod:`repro.obs.metrics` — process-wide registry of counters,
+  gauges, and fixed-bucket histograms; thread-safe and resettable.
+* :mod:`repro.obs.export` — JSON / Chrome-tracing / ASCII-flame
+  exporters for completed traces.
+* :mod:`repro.obs.logging` — the ``repro.*`` structured logger
+  hierarchy (NullHandler by default; the CLI's ``-v`` flags opt in).
+
+Quick start::
+
+    from repro.obs import span, start_trace, finish_trace, ascii_flame
+
+    start_trace(workload="demo")
+    with span("search.run", n=2000):
+        ...
+    report = finish_trace()
+    print(ascii_flame(report))
+"""
+
+from repro.obs.export import (
+    ascii_flame,
+    dict_to_trace,
+    load_trace,
+    save_chrome_trace,
+    save_trace,
+    to_chrome_trace,
+    trace_to_dict,
+)
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.trace import (
+    Span,
+    TraceReport,
+    Tracer,
+    current_tracer,
+    finish_trace,
+    span,
+    start_trace,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "Tracer",
+    "TraceReport",
+    "span",
+    "traced",
+    "start_trace",
+    "finish_trace",
+    "current_tracer",
+    "tracing_enabled",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    # export
+    "trace_to_dict",
+    "dict_to_trace",
+    "save_trace",
+    "load_trace",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "ascii_flame",
+    # logging
+    "get_logger",
+    "configure_logging",
+]

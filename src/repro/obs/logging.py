@@ -1,0 +1,86 @@
+"""Structured logging for the ``repro`` package.
+
+Wires the standard-library ``logging`` module into a ``repro.*`` logger
+hierarchy.  The package root logger carries a ``NullHandler`` so that
+importing the library never prints anything and never triggers the
+"no handlers could be found" warning — applications opt in with
+:func:`configure_logging` (the CLI maps ``-v`` / ``-vv`` onto it).
+
+Loggers are namespaced by layer::
+
+    repro.core          the interactive search loop
+    repro.density       KDE / grid / connectivity
+    repro.data          loaders and synthetic generators
+    repro.baselines     comparison searchers
+    repro.obs           the observability subsystem itself
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Default line format: time, level, logger, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+DATE_FORMAT = "%H:%M:%S"
+
+# Library etiquette: a NullHandler on the hierarchy root, attached once
+# at import time.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro.`` hierarchy.
+
+    ``get_logger("data")`` -> ``repro.data``; ``get_logger()`` or an
+    already-qualified ``repro...`` name returns that logger directly.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    verbosity: int = 0,
+    *,
+    stream: TextIO | None = None,
+    fmt: str = LOG_FORMAT,
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    Parameters
+    ----------
+    verbosity:
+        ``0`` -> WARNING, ``1`` -> INFO, ``>= 2`` -> DEBUG.
+    stream:
+        Destination (default ``sys.stderr``).
+    fmt:
+        Log line format.
+
+    Returns the configured root logger.  Calling again replaces the
+    previously attached stream handler (idempotent for CLI re-entry).
+    """
+    level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO if verbosity == 1 else logging.DEBUG
+    )
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    # Drop handlers we installed before (keep the NullHandler and any
+    # third-party handlers).
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_installed", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt, datefmt=DATE_FORMAT))
+    handler._repro_installed = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

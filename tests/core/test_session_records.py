@@ -58,3 +58,84 @@ class TestSelectedIndices:
             ever_selected |= set(record.selected_indices.tolist())
         positive = set(np.flatnonzero(result.probabilities > 0).tolist())
         assert positive <= ever_selected
+
+
+def _minor(major, minor, accepted, selected):
+    from repro.core.session import MinorIterationRecord
+
+    return MinorIterationRecord(
+        major_index=major,
+        minor_index=minor,
+        subspace=None,
+        profile_statistics=None,
+        accepted=accepted,
+        threshold=0.5 if accepted else None,
+        selected_count=selected,
+        live_count=100,
+        note="",
+        refinement_dims=(8, 4, 2),
+    )
+
+
+def _major(index, before, after, accepted, overlap):
+    from repro.core.session import MajorIterationRecord
+
+    return MajorIterationRecord(
+        index=index,
+        live_count_before=before,
+        live_count_after=after,
+        pick_counts=(10, 0, 5),
+        expected=1.0,
+        variance=1.0,
+        accepted_views=accepted,
+        overlap=overlap,
+    )
+
+
+class TestSummary:
+    def test_empty_session(self):
+        from repro.core.session import SearchSession
+
+        summary = SearchSession().summary()
+        assert summary == {
+            "major_iterations": 0,
+            "total_views": 0,
+            "accepted_views": 0,
+            "acceptance_rate": 0.0,
+            "pruning_trajectory": [],
+            "final_overlap": None,
+            "mean_selected_per_view": 0.0,
+            "termination_reason": None,
+        }
+
+    def test_arithmetic_exact(self):
+        from repro.core.session import SearchSession
+
+        session = SearchSession()
+        session.record_minor(_minor(0, 0, True, 20))
+        session.record_minor(_minor(0, 1, False, 0))
+        session.record_minor(_minor(1, 0, True, 10))
+        session.record_minor(_minor(1, 1, True, 30))
+        session.record_major(_major(0, 100, 80, 1, None), np.zeros(4))
+        session.record_major(_major(1, 80, 50, 2, 0.75), np.zeros(4))
+
+        summary = session.summary(reason="converged")
+        assert summary["major_iterations"] == 2
+        assert summary["total_views"] == 4
+        assert summary["accepted_views"] == 3
+        assert summary["acceptance_rate"] == pytest.approx(0.75)
+        assert summary["pruning_trajectory"] == [100, 80, 50]
+        assert summary["final_overlap"] == pytest.approx(0.75)
+        assert summary["mean_selected_per_view"] == pytest.approx(20.0)
+        assert summary["termination_reason"] == "converged"
+
+    def test_summary_is_json_compatible(self):
+        import json
+
+        from repro.core.session import SearchSession
+
+        session = SearchSession()
+        session.record_minor(_minor(0, 0, True, 5))
+        session.record_major(_major(0, 50, 40, 1, None), np.zeros(2))
+        encoded = json.dumps(session.summary(reason="max_iterations"))
+        assert "pruning_trajectory" in encoded

@@ -1,5 +1,7 @@
 """Unit tests for repro.data.loaders (UCI file parsers)."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -154,3 +156,48 @@ class TestLoadCsv:
             ds.points[0], FixedThresholdUser(0.5)
         )
         assert result.probabilities.shape == (160,)
+
+
+class TestLoggedFallbacks:
+    """Former silent fallbacks must now warn on the ``repro.data`` logger."""
+
+    def test_segmentation_header_skip_is_logged(self, tmp_path, caplog):
+        path = tmp_path / "segmentation.data"
+        path.write_text(
+            "\n".join(
+                [
+                    "BRICKFACE,SKY,FOLIAGE",  # 3-field class list, not data
+                    seg_row("SKY", 1.0),
+                    seg_row("GRASS", 2.0),
+                ]
+            )
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.data"):
+            ds = load_segmentation(path)
+        assert ds.size == 2
+        skips = [r for r in caplog.records if "skipping non-data line" in r.message]
+        assert len(skips) == 1
+        assert "segmentation.data:1" in skips[0].message
+        assert skips[0].name == "repro.data"
+
+    def test_clean_segmentation_file_logs_no_warning(self, tmp_path, caplog):
+        path = tmp_path / "segmentation.data"
+        path.write_text(seg_row("SKY", 1.0) + "\n")
+        with caplog.at_level(logging.WARNING, logger="repro.data"):
+            load_segmentation(path)
+        assert not [r for r in caplog.records if r.levelno >= logging.WARNING]
+
+    def test_csv_fractional_labels_warn_on_truncation(self, tmp_path, caplog):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0,2.0,0.7\n3.0,4.0,1.2\n")
+        with caplog.at_level(logging.WARNING, logger="repro.data"):
+            ds = load_csv_dataset(path, label_column=-1)
+        assert ds.labels.tolist() == [0, 1]
+        assert any("non-integer values" in r.message for r in caplog.records)
+
+    def test_csv_integer_labels_stay_quiet(self, tmp_path, caplog):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0,2.0,0\n3.0,4.0,1\n")
+        with caplog.at_level(logging.WARNING, logger="repro.data"):
+            load_csv_dataset(path, label_column=-1)
+        assert not [r for r in caplog.records if r.levelno >= logging.WARNING]

@@ -1,5 +1,7 @@
 """Unit tests for repro.data.uci (UCI stand-in generators)."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -89,3 +91,21 @@ class TestStandIns:
         sub = ds.points[fine == fine[0]]
         ratios = sub.var(axis=0) / ds.points.var(axis=0)
         assert np.sort(ratios)[:3].max() < 0.5
+
+
+class TestStarvedClassWarning:
+    def test_zero_size_class_logs_warning(self, rng, caplog):
+        # 10 points split 1:2000 starves class 0 entirely.
+        spec = ClassStructureSpec("starved", 10, 8, (1.0, 2000.0), 3)
+        with caplog.at_level(logging.WARNING, logger="repro.data.uci"):
+            ds = generate_class_structured(spec, rng)
+        starved = [r for r in caplog.records if "received 0 of" in r.message]
+        assert len(starved) == 1
+        assert "class 0" in starved[0].message
+        assert set(np.unique(ds.labels)) == {1}
+
+    def test_balanced_classes_stay_quiet(self, rng, caplog):
+        spec = ClassStructureSpec("ok", 100, 8, (1.0, 1.0), 3)
+        with caplog.at_level(logging.WARNING, logger="repro.data.uci"):
+            generate_class_structured(spec, rng)
+        assert not [r for r in caplog.records if r.levelno >= logging.WARNING]

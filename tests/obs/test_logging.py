@@ -1,0 +1,84 @@
+"""Tests for the ``repro.*`` logging hierarchy and CLI verbosity map."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+)
+
+
+def _teardown():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_installed", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        assert get_logger("data").name == "repro.data"
+        assert get_logger("core").parent.name == ROOT_LOGGER_NAME
+
+    def test_empty_name_is_root(self):
+        assert get_logger().name == ROOT_LOGGER_NAME
+        assert get_logger(None).name == ROOT_LOGGER_NAME
+
+    def test_already_qualified_name_passthrough(self):
+        assert get_logger("repro.density").name == "repro.density"
+        assert get_logger(ROOT_LOGGER_NAME).name == ROOT_LOGGER_NAME
+
+    def test_root_has_null_handler(self):
+        """Importing the library must never print 'no handlers' warnings."""
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestConfigureLogging:
+    def test_verbosity_levels(self):
+        try:
+            assert configure_logging(0).level == logging.WARNING
+            assert configure_logging(1).level == logging.INFO
+            assert configure_logging(2).level == logging.DEBUG
+            assert configure_logging(5).level == logging.DEBUG
+        finally:
+            _teardown()
+
+    def test_idempotent_reconfiguration(self):
+        try:
+            root = configure_logging(1)
+            before = len(root.handlers)
+            configure_logging(2)
+            assert len(root.handlers) == before
+        finally:
+            _teardown()
+
+    def test_messages_reach_stream(self):
+        stream = io.StringIO()
+        try:
+            configure_logging(1, stream=stream)
+            get_logger("data").info("loaded %d rows", 42)
+            get_logger("data").debug("hidden at INFO")
+            text = stream.getvalue()
+            assert "loaded 42 rows" in text
+            assert "repro.data" in text
+            assert "hidden at INFO" not in text
+        finally:
+            _teardown()
+
+    def test_warning_only_by_default(self):
+        stream = io.StringIO()
+        try:
+            configure_logging(0, stream=stream)
+            get_logger("core").info("quiet")
+            get_logger("core").warning("loud")
+            text = stream.getvalue()
+            assert "quiet" not in text
+            assert "loud" in text
+        finally:
+            _teardown()

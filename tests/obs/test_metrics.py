@@ -1,0 +1,243 @@
+"""Tests for the metrics registry: counters, gauges, histogram buckets."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotonic_increment(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("c")
+        c.inc(4)
+        assert c.snapshot() == {"type": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == pytest.approx(12)
+
+    def test_can_go_negative(self):
+        g = Gauge("g")
+        g.dec(2)
+        assert g.value == pytest.approx(-2)
+
+
+class TestHistogramBuckets:
+    def test_value_on_bound_lands_in_that_bucket(self):
+        """le-semantics: an observation equal to a bound counts in it."""
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.counts == (1, 1, 1, 0)
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.counts == (0, 0, 1)
+
+    def test_below_first_bound(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.0)
+        h.observe(0.5)
+        assert h.counts == (2, 0, 0)
+
+    def test_cumulative_counts(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.7, 3.0, 9.0):
+            h.observe(value)
+        assert h.cumulative_counts() == (1, 3, 4, 5)
+
+    def test_count_sum_mean_min_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(3.0)
+        assert h.count == 2
+        assert h.sum == pytest.approx(3.25)
+        assert h.mean == pytest.approx(1.625)
+        assert h.min == pytest.approx(0.25)
+        assert h.max == pytest.approx(3.0)
+
+    def test_empty_histogram_stats(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert math.isinf(h.min) and h.min > 0
+        assert math.isinf(h.max) and h.max < 0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_duplicate_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+
+    def test_quantile(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            h.observe(value)
+        # Quantiles resolve to the upper bound of the containing bucket.
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_quantile_empty_is_nan(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_quantile_overflow_reports_observed_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == pytest.approx(50.0)
+
+    def test_quantile_out_of_range_rejected(self):
+        h = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_snapshot(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 1
+        assert snap["sum"] == pytest.approx(1.5)
+        assert snap["buckets"] == [1.0, 2.0]
+        assert snap["counts"] == [0, 1, 0]
+        assert snap["min"] == pytest.approx(1.5)
+
+    def test_empty_snapshot_uses_none_extremes(self):
+        snap = Histogram("h", buckets=(1.0,)).snapshot()
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_default_bucket_sets_are_sorted(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(DEFAULT_SECONDS_BUCKETS)
+        assert list(DEFAULT_SIZE_BUCKETS) == sorted(DEFAULT_SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_histogram_buckets_fixed_at_creation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        again = reg.histogram("h", buckets=(5.0,))
+        assert again is h
+        assert again.buckets == (1.0, 2.0)
+
+    def test_reset_zeroes_but_keeps_registered(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        h = reg.histogram("h", buckets=(1.0,))
+        c.inc(3)
+        h.observe(0.5)
+        reg.reset()
+        assert reg.counter("a") is c
+        assert c.value == 0
+        assert h.count == 0
+        assert h.counts == (0, 0)
+
+    def test_clear_forgets_metrics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        reg.clear()
+        assert reg.get("a") is None
+        assert reg.counter("a") is not c
+
+    def test_get_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        assert reg.names() == []
+
+    def test_snapshot_covers_all_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert set(snap) == {"c", "g", "h"}
+        assert snap["c"]["value"] == 1
+        assert snap["g"]["value"] == 2
+        assert snap["h"]["count"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_lose_nothing(self):
+        """Thread-safety smoke: no lost updates under contention."""
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        h = reg.histogram("sizes", buckets=(10.0, 100.0))
+        n_threads, n_iter = 8, 2_000
+
+        def work():
+            for i in range(n_iter):
+                c.inc()
+                h.observe(float(i % 150))
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_iter
+        assert h.count == n_threads * n_iter
+        assert sum(h.counts) == n_threads * n_iter
+
+    def test_concurrent_get_or_create_single_instance(self):
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            seen.append(reg.counter("shared"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(instrument is seen[0] for instrument in seen)

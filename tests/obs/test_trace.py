@@ -1,0 +1,212 @@
+"""Tests for the span tracer: nesting, timing, no-op path, decorator."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    TraceReport,
+    Tracer,
+    current_tracer,
+    finish_trace,
+    span,
+    start_trace,
+    traced,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Never leak an active tracer between tests."""
+    finish_trace()
+    yield
+    finish_trace()
+
+
+class TestNesting:
+    def test_children_nest_under_parent(self):
+        tracer = start_trace()
+        with span("outer"):
+            with span("inner.a"):
+                pass
+            with span("inner.b"):
+                with span("leaf"):
+                    pass
+        report = finish_trace()
+        assert len(report.roots) == 1
+        outer = report.roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+        assert tracer.report().roots == report.roots
+
+    def test_sequential_roots(self):
+        start_trace()
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        report = finish_trace()
+        assert [r.name for r in report.roots] == ["first", "second"]
+
+    def test_nested_timing_is_consistent(self):
+        start_trace()
+        with span("outer"):
+            time.sleep(0.005)
+            with span("inner"):
+                time.sleep(0.01)
+            time.sleep(0.005)
+        report = finish_trace()
+        outer = report.roots[0]
+        inner = outer.children[0]
+        assert inner.wall >= 0.009
+        assert outer.wall >= inner.wall + 0.008
+        # Child interval sits inside the parent interval.
+        assert outer.start_wall <= inner.start_wall
+        assert inner.end_wall <= outer.end_wall
+        # Self time excludes the child.
+        assert outer.self_wall == pytest.approx(outer.wall - inner.wall)
+
+    def test_exception_closes_span_and_tags_error(self):
+        start_trace()
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("no")
+        report = finish_trace()
+        boom = report.roots[0]
+        assert boom.end_wall >= boom.start_wall
+        assert boom.attributes["error"] == "ValueError"
+
+
+class TestAttributes:
+    def test_call_and_set_attributes_merge(self):
+        start_trace()
+        with span("s", a=1) as s:
+            s.set(b=2)
+            s.set(a=3)
+        report = finish_trace()
+        assert report.roots[0].attributes == {"a": 3, "b": 2}
+
+    def test_cpu_clock_recorded(self):
+        start_trace()
+        with span("busy"):
+            sum(i * i for i in range(50_000))
+        report = finish_trace()
+        busy = report.roots[0]
+        assert busy.cpu > 0
+        assert busy.end_cpu >= busy.start_cpu
+
+
+class TestNoOpPath:
+    def test_disabled_span_is_shared_singleton(self):
+        assert not tracing_enabled()
+        s1 = span("anything", k=1)
+        s2 = span("else")
+        assert s1 is NULL_SPAN
+        assert s2 is NULL_SPAN
+        with s1 as inner:
+            assert inner is NULL_SPAN
+            inner.set(x=2)  # no-op, no error
+
+    def test_no_tracer_by_default(self):
+        assert current_tracer() is None
+        assert finish_trace() is None
+
+    def test_disabled_span_is_cheap(self):
+        """Disabled path stays well under 10 µs per call."""
+        n = 20_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with span("noop"):
+                pass
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 1e-5
+
+
+class TestDecorator:
+    def test_traced_records_span_when_enabled(self):
+        @traced("math.double")
+        def double(x):
+            return 2 * x
+
+        start_trace()
+        assert double(21) == 42
+        report = finish_trace()
+        assert [r.name for r in report.roots] == ["math.double"]
+
+    def test_traced_is_transparent_when_disabled(self):
+        @traced()
+        def triple(x):
+            return 3 * x
+
+        assert triple(2) == 6
+        assert triple.__name__ == "triple"
+
+    def test_traced_default_name_is_qualified(self):
+        @traced()
+        def f():
+            return None
+
+        start_trace()
+        f()
+        report = finish_trace()
+        assert report.roots[0].name.endswith("f")
+
+
+class TestReport:
+    def test_find_and_span_names(self):
+        start_trace()
+        with span("a"):
+            with span("b"):
+                pass
+            with span("b"):
+                pass
+        report = finish_trace()
+        assert len(report.find("b")) == 2
+        assert report.span_names() == ["a", "b"]
+
+    def test_aggregate(self):
+        start_trace()
+        with span("x"):
+            with span("y"):
+                pass
+        with span("y"):
+            pass
+        report = finish_trace()
+        agg = report.aggregate()
+        assert agg["y"]["count"] == 2
+        assert agg["x"]["count"] == 1
+        assert agg["x"]["wall_mean"] == pytest.approx(agg["x"]["wall_total"])
+
+    def test_metadata_round_trip(self):
+        start_trace(workload="unit")
+        with span("a"):
+            pass
+        report = finish_trace(extra=1)
+        assert report.metadata == {"workload": "unit", "extra": 1}
+
+    def test_total_wall_sums_roots(self):
+        report = TraceReport(
+            roots=(
+                Span(name="a", start_wall=0.0, end_wall=1.5),
+                Span(name="b", start_wall=2.0, end_wall=2.25),
+            )
+        )
+        assert report.total_wall == pytest.approx(1.75)
+
+
+class TestActivation:
+    def test_activate_restores_previous(self):
+        outer = Tracer()
+        inner = Tracer()
+        with outer.activate():
+            assert current_tracer() is outer
+            with inner.activate():
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is None

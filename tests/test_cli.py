@@ -66,3 +66,85 @@ class TestDiagnose:
         out = capsys.readouterr().out
         assert "uniform data:   meaningful=False" in out
         assert "clustered data:" in out
+
+
+class TestObservabilityFlags:
+    def test_flags_accepted_before_subcommand(self):
+        args = build_parser().parse_args(["-vv", "--trace", "info"])
+        assert args.verbose == 2
+        assert args.trace is True
+
+    def test_flags_accepted_after_subcommand(self):
+        args = build_parser().parse_args(["info", "-v", "--trace"])
+        assert args.verbose == 1
+        assert args.trace is True
+
+    def test_trace_out_after_subcommand_not_clobbered(self):
+        args = build_parser().parse_args(
+            ["--trace-out", "t.json", "demo", "--points", "100"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.points == 100
+
+    def test_flags_absent_by_default(self):
+        args = build_parser().parse_args(["info"])
+        assert not hasattr(args, "trace") or not args.trace
+        assert getattr(args, "trace_out", None) is None
+
+    def test_trace_prints_flame_summary(self, capsys):
+        assert main(["--trace", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "trace total" in out
+        assert "spans)" in out
+
+    def test_trace_out_writes_json(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "--trace-out",
+                str(trace_path),
+                "demo",
+                "--points",
+                "400",
+                "--support",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        payload = json.loads(trace_path.read_text())
+        names = set()
+
+        def walk(node):
+            names.add(node["name"])
+            for child in node.get("children", []):
+                walk(child)
+
+        for root in payload["roots"]:
+            walk(root)
+        assert {
+            "search.run",
+            "search.major",
+            "search.minor",
+            "projection.find",
+            "kde.grid",
+            "connectivity.flood_fill",
+        } <= names
+        assert payload["metadata"]["command"] == "demo"
+
+    def test_trace_out_chrome_format(self, capsys, tmp_path):
+        trace_path = tmp_path / "chrome.json"
+        code = main(
+            ["info", "--trace-out", str(trace_path), "--trace-format", "chrome"]
+        )
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        assert "traceEvents" in payload
+
+    def test_demo_prints_run_summary(self, capsys):
+        assert main(["demo", "--points", "400", "--support", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "run summary:" in out
+        assert "acceptance_rate" in out
+        assert "termination_reason" in out
