@@ -1,0 +1,155 @@
+"""Interleaved vs sequential batch scheduling — same work, same speed.
+
+Since the sans-io refactor, ``repro.core.run_batch`` is a round-robin
+scheduler over suspended :class:`~repro.core.engine.SearchEngine`
+instances (``docs/ENGINE.md``).  Interleaving exists for *latency
+shaping* (many queries sharing one slow human or network round-trip),
+not for throughput: with a synchronous simulated user the scheduler does
+exactly the same computation in a different order, so its wall time must
+not regress relative to the classic sequential loop.  This benchmark
+pins that acceptance bound and records the per-phase cost profile of an
+interleaved batch via the observability layer:
+
+1. run one 8-query batch sequentially (``max_in_flight=1``) and
+   interleaved (``max_in_flight=8``), best-of-3 wall time each, and
+   assert the interleaved schedule is no slower (within a small noise
+   tolerance);
+2. assert both schedules produce identical per-query neighbors — the
+   engine-isolation guarantee the golden tests lock at full precision;
+3. re-run the interleaved batch under an ambient tracer and persist the
+   per-phase breakdown (``batch_interleave_phases.{txt,json}``), the
+   baseline artifact future scheduler PRs diff against.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import InteractiveNNSearch, OracleUser, SearchConfig
+from repro.core import run_batch
+from repro.data.synthetic import ProjectedClusterSpec, generate_projected_clusters
+from repro.obs import finish_trace, start_trace
+
+from bench_utils import format_table, report, report_phase_breakdown
+
+#: Interleaving must not cost wall time; allow a little timer noise.
+MAX_SLOWDOWN = 1.15
+
+#: Repetitions per schedule — best-of-N suppresses scheduler jitter.
+REPEATS = 3
+
+INTERLEAVED = 8
+
+
+def _workload():
+    """Medium batch workload: 1200 points, 12 dims, 8 queries."""
+    spec = ProjectedClusterSpec(
+        n_points=1200,
+        dim=12,
+        n_clusters=4,
+        cluster_dim=4,
+        axis_parallel=True,
+        noise_fraction=0.1,
+    )
+    data = generate_projected_clusters(spec, np.random.default_rng(97))
+    ds = data.dataset
+    queries = np.array(
+        [int(ds.cluster_indices(c)[k]) for c in range(4) for k in (0, 1)]
+    )
+    config = SearchConfig(
+        support=20, min_major_iterations=2, max_major_iterations=2
+    )
+    return ds, queries, config
+
+
+def _run_batch(ds, queries, config, *, max_in_flight: int):
+    search = InteractiveNNSearch(ds, config)
+    start = time.perf_counter()
+    batch = run_batch(
+        search,
+        queries,
+        lambda qi: OracleUser(ds, qi),
+        max_in_flight=max_in_flight,
+    )
+    return batch, time.perf_counter() - start
+
+
+def _best_of(ds, queries, config, *, max_in_flight: int):
+    best_batch, best_seconds = None, float("inf")
+    for _ in range(REPEATS):
+        batch, seconds = _run_batch(
+            ds, queries, config, max_in_flight=max_in_flight
+        )
+        if seconds < best_seconds:
+            best_batch, best_seconds = batch, seconds
+    return best_batch, best_seconds
+
+
+def test_interleaved_no_slower_than_sequential(results_dir):
+    ds, queries, config = _workload()
+
+    # Warm-up pass so both timed schedules see hot allocator/numpy state.
+    _run_batch(ds, queries, config, max_in_flight=1)
+
+    sequential, seq_seconds = _best_of(ds, queries, config, max_in_flight=1)
+    interleaved, inter_seconds = _best_of(
+        ds, queries, config, max_in_flight=INTERLEAVED
+    )
+
+    # Scheduling order must not leak into results: engines are isolated.
+    for query_index in queries.tolist():
+        assert np.array_equal(
+            sequential.neighbors_of(query_index),
+            interleaved.neighbors_of(query_index),
+        ), f"query {query_index}: interleaving changed the neighbors"
+
+    ratio = inter_seconds / seq_seconds
+    report(
+        "batch_interleave",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["workload", "1200 pts, 12 dims, 8 queries"],
+                ["queries", sequential.query_count],
+                ["meaningful", sequential.meaningful_count],
+                ["sequential best-of-%d (s)" % REPEATS, f"{seq_seconds:.3f}"],
+                [
+                    "interleaved x%d best-of-%d (s)" % (INTERLEAVED, REPEATS),
+                    f"{inter_seconds:.3f}",
+                ],
+                ["interleaved / sequential", f"{ratio:.3f}"],
+                ["bound", f"{MAX_SLOWDOWN:.2f}"],
+            ],
+        ),
+    )
+
+    assert ratio <= MAX_SLOWDOWN, (
+        f"interleaved batch {inter_seconds:.3f}s is {ratio:.2f}x the "
+        f"sequential {seq_seconds:.3f}s (bound {MAX_SLOWDOWN:.2f}x)"
+    )
+
+
+def test_interleaved_phase_breakdown(results_dir):
+    """Trace one interleaved batch and persist its per-phase profile."""
+    ds, queries, config = _workload()
+    start_trace(workload="batch_interleave")
+    try:
+        batch, _ = _run_batch(
+            ds, queries, config, max_in_flight=INTERLEAVED
+        )
+    finally:
+        trace = finish_trace()
+
+    assert batch.query_count == queries.size
+    agg = report_phase_breakdown("batch_interleave", trace)
+
+    # The scheduler's own spans frame every engine step.
+    assert "search.batch" in agg
+    assert "batch.start" in agg and agg["batch.start"]["count"] == queries.size
+    assert "batch.finalize" in agg
+    assert agg["batch.step"]["count"] >= queries.size
+    # Engine-level work is attributed under the scheduler spans.
+    assert "engine.step" in agg
+    assert "projection.find" in agg

@@ -39,12 +39,22 @@ from repro.analysis import (
 )
 from repro.baselines import FullDimensionalKNN, ProjectedNN
 from repro.core import (
+    DatasetPrecomputation,
+    EnginePhase,
+    EngineState,
     InteractiveNNSearch,
     SearchConfig,
+    SearchEngine,
     SearchResult,
     TerminationReason,
+    ViewRequest,
+    checkpoint_to_dict,
+    drive,
     find_query_centered_projection,
+    load_checkpoint,
     orthogonal_projection_sequence,
+    resume_engine,
+    save_checkpoint,
 )
 from repro.data import (
     Dataset,
@@ -63,16 +73,19 @@ from repro.density import (
     VisualProfile,
 )
 from repro.exceptions import (
+    CheckpointError,
     ConfigurationError,
     ConvergenceError,
     DimensionalityError,
     EmptyDatasetError,
+    EngineStateError,
     InteractionError,
     ReproError,
     SubspaceError,
 )
 from repro.geometry import Subspace
 from repro.interaction import (
+    AsyncUserDriver,
     HeuristicUser,
     OracleUser,
     ProjectionView,
@@ -90,6 +103,16 @@ __all__ = [
     "SearchConfig",
     "SearchResult",
     "TerminationReason",
+    "SearchEngine",
+    "EngineState",
+    "EnginePhase",
+    "ViewRequest",
+    "DatasetPrecomputation",
+    "drive",
+    "checkpoint_to_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+    "resume_engine",
     "find_query_centered_projection",
     "orthogonal_projection_sequence",
     # data
@@ -107,6 +130,7 @@ __all__ = [
     "LateralDensityPlot",
     "DensitySeparator",
     # interaction
+    "AsyncUserDriver",
     "OracleUser",
     "HeuristicUser",
     "ScriptedUser",
@@ -138,4 +162,6 @@ __all__ = [
     "ConfigurationError",
     "InteractionError",
     "ConvergenceError",
+    "EngineStateError",
+    "CheckpointError",
 ]

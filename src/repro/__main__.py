@@ -65,14 +65,58 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         natural_neighbors,
         retrieval_quality,
     )
+    from repro.exceptions import CheckpointError
 
     data = case1_dataset(np.random.default_rng(args.seed), n_points=args.points)
     dataset = data.dataset
     query_index = int(dataset.cluster_indices(0)[0])
     user = OracleUser(dataset, query_index)
-    result = InteractiveNNSearch(dataset, SearchConfig(support=args.support)).run(
-        dataset.points[query_index], user
-    )
+    config = SearchConfig(support=args.support)
+
+    if args.resume:
+        from repro.core.search import drive_pending
+        from repro.core.serialization import load_checkpoint, resume_engine
+
+        try:
+            checkpoint = load_checkpoint(args.resume)
+            engine, event = resume_engine(checkpoint, dataset)
+        except CheckpointError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"resumed from {args.resume} at major={event.major_index} "
+            f"minor={event.minor_index} (step {event.step})"
+        )
+        result = drive_pending(engine, event, user)
+    elif args.checkpoint:
+        from repro.core.engine import SearchEngine, ViewRequest
+        from repro.core.serialization import save_checkpoint
+        from repro.interaction.base import validate_decision
+
+        engine = SearchEngine(dataset, config)
+        event = engine.start(dataset.points[query_index])
+        while isinstance(event, ViewRequest):
+            if event.step >= args.checkpoint_step:
+                path = save_checkpoint(engine, args.checkpoint)
+                engine.close()
+                print(
+                    f"checkpoint written to {path} (major={event.major_index} "
+                    f"minor={event.minor_index}, step {event.step})"
+                )
+                print(
+                    "finish the run with: python -m repro demo "
+                    f"--points {args.points} --support {args.support} "
+                    f"--seed {args.seed} --resume {path}"
+                )
+                return 0
+            decision = validate_decision(user.review_view(event.view), event.view)
+            event = engine.submit(decision)
+        result = event
+        print("run finished before the checkpoint step was reached")
+    else:
+        result = InteractiveNNSearch(dataset, config).run(
+            dataset.points[query_index], user
+        )
     neighbors = natural_neighbors(
         result.probabilities, iterations=len(result.session.major_records)
     )
@@ -238,6 +282,29 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--support", type=int, default=25)
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--save", type=str, default="", help="archive JSON path")
+    demo.add_argument(
+        "--checkpoint",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="suspend the run at --checkpoint-step and write a resumable "
+        "checkpoint to PATH instead of finishing",
+    )
+    demo.add_argument(
+        "--checkpoint-step",
+        type=int,
+        default=3,
+        metavar="N",
+        help="view step at which --checkpoint suspends (default: 3)",
+    )
+    demo.add_argument(
+        "--resume",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="resume a run from a checkpoint written by --checkpoint "
+        "(dataset flags must match the original invocation)",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     diag = sub.add_parser(

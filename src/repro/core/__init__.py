@@ -14,10 +14,19 @@ from repro.core.projections import (
     find_query_centered_projection,
     orthogonal_projection_sequence,
 )
+from repro.core.engine import (
+    DatasetPrecomputation,
+    EnginePhase,
+    EngineState,
+    SearchEngine,
+    ViewRequest,
+)
 from repro.core.search import (
     InteractiveNNSearch,
     SearchResult,
     TerminationReason,
+    drive,
+    drive_pending,
 )
 from repro.core.batch import BatchEntry, BatchResult, run_batch
 from repro.core.refinement import (
@@ -27,8 +36,12 @@ from repro.core.refinement import (
     refine_search,
 )
 from repro.core.serialization import (
+    checkpoint_to_dict,
+    load_checkpoint,
     load_result_dict,
     result_to_dict,
+    resume_engine,
+    save_checkpoint,
     save_result,
     session_to_dict,
 )
@@ -44,6 +57,17 @@ __all__ = [
     "InteractiveNNSearch",
     "SearchResult",
     "TerminationReason",
+    "SearchEngine",
+    "EngineState",
+    "EnginePhase",
+    "ViewRequest",
+    "DatasetPrecomputation",
+    "drive",
+    "drive_pending",
+    "checkpoint_to_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+    "resume_engine",
     "PreferenceCounter",
     "IterationStatistics",
     "MeaningfulnessAccumulator",

@@ -81,6 +81,28 @@ class PreferenceCounter:
         self._pick_sizes.append(int(mask.sum()))
         self._weights.append(float(weight))
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Lossless JSON-compatible snapshot (see checkpointing docs)."""
+        return {
+            "n_points": int(self._counts.shape[0]),
+            "counts": self._counts.tolist(),
+            "pick_sizes": list(self._pick_sizes),
+            "weights": list(self._weights),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "PreferenceCounter":
+        """Rebuild a counter from a :meth:`state_dict` snapshot."""
+        restored = cls(int(state["n_points"]))
+        counts = np.asarray(state["counts"], dtype=float)
+        if counts.shape != restored._counts.shape:
+            raise ConfigurationError("counts length does not match n_points")
+        restored._counts = counts
+        restored._pick_sizes = [int(s) for s in state["pick_sizes"]]
+        restored._weights = [float(w) for w in state["weights"]]
+        return restored
+
     def counts_for(self, live_indices: np.ndarray) -> np.ndarray:
         """``v(j)`` restricted to (and aligned with) *live_indices*."""
         return self._counts[np.asarray(live_indices, dtype=int)]

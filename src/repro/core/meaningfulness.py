@@ -169,6 +169,26 @@ class MeaningfulnessAccumulator:
         self._iterations += 1
         return probs
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Lossless JSON-compatible snapshot (see checkpointing docs)."""
+        return {
+            "n_points": int(self._sums.shape[0]),
+            "sums": self._sums.tolist(),
+            "iterations": self._iterations,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MeaningfulnessAccumulator":
+        """Rebuild an accumulator from a :meth:`state_dict` snapshot."""
+        accumulator = cls(int(state["n_points"]))
+        sums = np.asarray(state["sums"], dtype=float)
+        if sums.shape != accumulator._sums.shape:
+            raise ConfigurationError("sums length does not match n_points")
+        accumulator._sums = sums
+        accumulator._iterations = int(state["iterations"])
+        return accumulator
+
     def averages(self) -> np.ndarray:
         """Final meaningfulness probabilities ``P(j)`` (Eq. 8)."""
         if self._iterations == 0:

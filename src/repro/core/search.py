@@ -7,98 +7,68 @@ every major iteration the user's preference counts become
 meaningfulness probabilities; the run terminates when the top-``s``
 ranking stabilizes (or iteration bounds are hit) and returns the ``s``
 points with the highest probabilities.
+
+Since the sans-io refactor the loop itself lives in
+:class:`repro.core.engine.SearchEngine`; this module is the classic
+blocking facade: it steps the engine, obtains each decision from a
+:class:`~repro.interaction.base.UserAgent` synchronously, and returns
+the identical :class:`SearchResult` the monolithic loop produced.
+:class:`TerminationReason` and :class:`SearchResult` are defined in
+:mod:`repro.core.engine` and re-exported here for backward
+compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from enum import Enum
-from typing import Any
+from dataclasses import replace
 
 import numpy as np
 
 from repro.core.config import SearchConfig
-from repro.core.counting import PreferenceCounter
-from repro.core.meaningfulness import (
-    MeaningfulnessAccumulator,
-    iteration_statistics,
+from repro.core.engine import (
+    SearchEngine,
+    SearchResult,
+    TerminationReason,
+    ViewRequest,
 )
-from repro.core.projections import find_query_centered_projection
-from repro.core.session import (
-    MajorIterationRecord,
-    MinorIterationRecord,
-    SearchSession,
-)
-from repro.core.termination import StabilityTermination
 from repro.data.dataset import Dataset
-from repro.density.profiles import VisualProfile
-from repro.exceptions import DimensionalityError
-from repro.geometry.subspace import Subspace
-from repro.interaction.base import ProjectionView, UserAgent, validate_decision
-from repro.obs.logging import get_logger
-from repro.obs.metrics import counter
-from repro.obs.trace import TraceReport, Tracer, current_tracer, span
+from repro.interaction.base import UserAgent, validate_decision
+from repro.obs.trace import Tracer, current_tracer, span
 
-_log = get_logger("core.search")
-
-# Process-wide counters of interactive-loop activity (always live —
-# one guarded integer add each; see docs/OBSERVABILITY.md).
-_RUNS = counter("search.runs")
-_MAJORS = counter("search.major_iterations")
-_MINORS = counter("search.minor_iterations")
-_ACCEPTED = counter("search.accepted_views")
-_PRUNED = counter("search.pruned_points")
+__all__ = [
+    "InteractiveNNSearch",
+    "SearchResult",
+    "TerminationReason",
+    "drive",
+]
 
 
-class TerminationReason(Enum):
-    """Why a search run ended."""
+def drive(
+    engine: SearchEngine, query: np.ndarray, user: UserAgent
+) -> SearchResult:
+    """Run an engine to completion against a blocking :class:`UserAgent`.
 
-    STABLE = "top-set stabilized"
-    ITERATION_LIMIT = "maximum major iterations reached"
-    EXHAUSTED = "live set too small to continue"
-
-
-@dataclass(frozen=True)
-class SearchResult:
-    """Outcome of one interactive search run.
-
-    Attributes
-    ----------
-    neighbor_indices:
-        Indices of the ``s`` points with the highest meaningfulness
-        probability, in descending probability order.
-    probabilities:
-        Final averaged meaningfulness probabilities for every original
-        point (pruned points keep the average over the iterations they
-        participated in).
-    support:
-        The effective support used (``max(config.support, d)``).
-    session:
-        Full audit trail of the run.
-    reason:
-        Why the run terminated.
-    trace:
-        Per-phase timing trace of the run, populated only when the
-        search was executed with ``run(..., trace=True)`` (and no
-        ambient tracer was already active); ``None`` otherwise.
-        Tracing never alters the search outcome.
+    The canonical synchronous driver: every :class:`ViewRequest` is
+    answered by ``user.review_view`` on the calling thread.  Exposed so
+    callers holding a pre-built engine (e.g. one restored from a
+    checkpoint, via an *event* already in hand) can finish it with a
+    plain user agent; :meth:`InteractiveNNSearch.run` builds on it.
     """
+    event = engine.start(query)
+    return drive_pending(engine, event, user)
 
-    neighbor_indices: np.ndarray
-    probabilities: np.ndarray
-    support: int
-    session: SearchSession = field(hash=False)
-    reason: TerminationReason = TerminationReason.STABLE
-    trace: TraceReport | None = field(default=None, hash=False, compare=False)
 
-    @property
-    def neighbor_probabilities(self) -> np.ndarray:
-        """Probabilities of the returned neighbors, descending."""
-        return self.probabilities[self.neighbor_indices]
-
-    def summary(self) -> dict[str, Any]:
-        """Compact run summary (see :meth:`SearchSession.summary`)."""
-        return self.session.summary(reason=self.reason.value)
+def drive_pending(
+    engine: SearchEngine,
+    event: ViewRequest | SearchResult,
+    user: UserAgent,
+) -> SearchResult:
+    """Finish a started engine from its last event (see :func:`drive`)."""
+    while isinstance(event, ViewRequest):
+        with span("user.decision"):
+            decision = validate_decision(user.review_view(event.view), event.view)
+        event = engine.submit(decision)
+    return event
 
 
 class InteractiveNNSearch:
@@ -158,235 +128,5 @@ class InteractiveNNSearch:
         return self._execute(query, user)
 
     def _execute(self, query: np.ndarray, user: UserAgent) -> SearchResult:
-        """The interactive loop proper (tracing-agnostic)."""
-        q = np.asarray(query, dtype=float)
-        d = self._dataset.dim
-        if q.shape != (d,):
-            raise DimensionalityError(
-                f"query must have shape ({d},), got {q.shape}"
-            )
-        config = self._config
-        n = self._dataset.size
-        support = config.effective_support(d)
-        views_per_major = d // 2
-
-        accumulator = MeaningfulnessAccumulator(n)
-        termination = StabilityTermination(
-            support,
-            config.overlap_threshold,
-            min_iterations=config.min_major_iterations,
-            max_iterations=config.max_major_iterations,
-        )
-        session = SearchSession()
-        live = np.arange(n)
-        reason = TerminationReason.ITERATION_LIMIT
-        rng = np.random.default_rng(config.rng_seed)
-
-        _RUNS.inc()
-        _log.info(
-            "search start: n=%d d=%d support=%d views/major=%d",
-            n,
-            d,
-            support,
-            views_per_major,
-        )
-        with span(
-            "search.run", n=n, dim=d, support=support, views_per_major=views_per_major
-        ) as run_span:
-            for major in range(config.max_major_iterations):
-                if live.size < 3:
-                    reason = TerminationReason.EXHAUSTED
-                    break
-                _MAJORS.inc()
-                counter = PreferenceCounter(n)
-                with span(
-                    "search.major", index=major, live_before=int(live.size)
-                ) as major_span:
-                    self._run_major_iteration(
-                        major, live, q, user, counter, session, views_per_major, rng
-                    )
-                    with span("search.statistics"):
-                        population = live.size if config.use_live_population else n
-                        stats = iteration_statistics(
-                            np.asarray(counter.pick_sizes, dtype=float),
-                            population,
-                            weights=np.asarray(counter.weights, dtype=float),
-                        )
-                        accumulator.update(live, counter.counts_for(live), stats)
-                        probabilities = accumulator.averages()
-                        stop = termination.should_stop(probabilities)
-
-                    with span("search.prune"):
-                        live_after = self._prune(live, counter)
-                    _PRUNED.inc(int(live.size - live_after.size))
-                    major_span.set(
-                        live_after=int(live_after.size),
-                        accepted_views=sum(
-                            1 for s_ in counter.pick_sizes if s_ > 0
-                        ),
-                        overlap=termination.last_overlap,
-                    )
-                session.record_major(
-                    MajorIterationRecord(
-                        index=major,
-                        live_count_before=live.size,
-                        live_count_after=live_after.size,
-                        pick_counts=tuple(counter.pick_sizes),
-                        expected=stats.expected,
-                        variance=stats.variance,
-                        accepted_views=sum(1 for s_ in counter.pick_sizes if s_ > 0),
-                        overlap=termination.last_overlap,
-                    ),
-                    probabilities,
-                )
-                _log.debug(
-                    "major %d: live %d -> %d, overlap=%s",
-                    major,
-                    live.size,
-                    live_after.size,
-                    termination.last_overlap,
-                )
-                live = live_after
-                if stop:
-                    reason = (
-                        TerminationReason.STABLE
-                        if termination.iterations < config.max_major_iterations
-                        or (
-                            termination.last_overlap is not None
-                            and termination.last_overlap
-                            >= config.overlap_threshold
-                        )
-                        else TerminationReason.ITERATION_LIMIT
-                    )
-                    break
-
-            probabilities = accumulator.averages()
-            top = accumulator.top_indices(support)
-            run_span.set(
-                reason=reason.value,
-                major_iterations=len(session.major_records),
-                total_views=session.total_views,
-            )
-        _log.info(
-            "search done: %s after %d major iterations (%d views, %d accepted)",
-            reason.value,
-            len(session.major_records),
-            session.total_views,
-            session.accepted_views,
-        )
-        return SearchResult(
-            neighbor_indices=top,
-            probabilities=probabilities,
-            support=support,
-            session=session,
-            reason=reason,
-        )
-
-    # ------------------------------------------------------------------
-    def _run_major_iteration(
-        self,
-        major: int,
-        live: np.ndarray,
-        query: np.ndarray,
-        user: UserAgent,
-        counter: PreferenceCounter,
-        session: SearchSession,
-        views_per_major: int,
-        rng: np.random.Generator,
-    ) -> None:
-        """One cycle of ``d/2`` mutually orthogonal projections."""
-        config = self._config
-        points = self._dataset.points[live]
-        support = config.effective_support(self._dataset.dim)
-        current = Subspace.full(self._dataset.dim)
-
-        for minor in range(views_per_major):
-            if current.dim < 2:
-                break
-            _MINORS.inc()
-            with span(
-                "search.minor",
-                major=major,
-                minor=minor,
-                live=int(live.size),
-                current_dim=current.dim,
-            ) as minor_span:
-                found = find_query_centered_projection(
-                    points,
-                    query,
-                    current,
-                    support,
-                    axis_parallel=config.axis_parallel,
-                    restarts=config.projection_restarts,
-                    rng=rng,
-                )
-                projected = found.projection.project(points)
-                query_2d = found.projection.project(query)
-                profile = VisualProfile.build(
-                    projected,
-                    query_2d,
-                    resolution=config.grid_resolution,
-                    bandwidth_scale=config.bandwidth_scale,
-                )
-                view = ProjectionView(
-                    profile=profile,
-                    projected_points=projected,
-                    query_2d=query_2d,
-                    subspace=found.projection,
-                    live_indices=live,
-                    major_index=major,
-                    minor_index=minor,
-                    total_points=self._dataset.size,
-                )
-                with span("user.decision"):
-                    decision = validate_decision(user.review_view(view), view)
-                if decision.accepted:
-                    _ACCEPTED.inc()
-                minor_span.set(
-                    accepted=decision.accepted,
-                    selected=decision.selected_count,
-                )
-                counter.record(
-                    live,
-                    decision.selected_mask,
-                    weight=config.projection_weight * decision.weight,
-                )
-            session.record_minor(
-                MinorIterationRecord(
-                    major_index=major,
-                    minor_index=minor,
-                    subspace=found.projection,
-                    profile_statistics=profile.statistics,
-                    accepted=decision.accepted,
-                    threshold=decision.threshold,
-                    selected_count=decision.selected_count,
-                    live_count=live.size,
-                    note=decision.note,
-                    refinement_dims=found.refinement_dims,
-                    selected_indices=live[decision.selected_mask],
-                )
-            )
-            current = found.remainder
-
-    def _prune(self, live: np.ndarray, counter: PreferenceCounter) -> np.ndarray:
-        """Drop never-picked points (Fig. 2), unless that empties the set.
-
-        When the user rejects every view of an iteration there is no
-        preference signal at all; pruning would delete the entire data
-        set, so the live set is kept unchanged in that case (the
-        meaningfulness probabilities already reflect the absence of
-        signal).  Pruning also requires at least two accepted views —
-        condemning a point on a single view's evidence is statistically
-        unjustified and can permanently lose cluster members that one
-        view's separator happened to miss.
-        """
-        if not self._config.remove_unpicked:
-            return live
-        accepted_views = sum(1 for size in counter.pick_sizes if size > 0)
-        if accepted_views < 2:
-            return live
-        counts = counter.counts_for(live)
-        survivors = live[counts > 0]
-        if survivors.size == 0:
-            return live
-        return survivors
+        """The blocking loop: a thin driver over :class:`SearchEngine`."""
+        return drive(SearchEngine(self._dataset, self._config), query, user)

@@ -1,4 +1,4 @@
-"""JSON serialization of search results and sessions.
+"""JSON serialization of search results, sessions, and checkpoints.
 
 An interactive session is an experiment artifact: which projections
 were shown, what the user decided, how the meaningfulness distribution
@@ -8,18 +8,57 @@ be archived, diffed, and analyzed outside Python.
 
 Subspace bases are stored as nested lists; probability vectors can be
 truncated to the top ``k`` entries to keep archives small.
+
+Since the sans-io refactor this module also owns **engine
+checkpoints**: a suspended :class:`~repro.core.engine.SearchEngine`
+(phase ``AWAITING_DECISION``) can be serialized losslessly — including
+the ``np.random.Generator`` bit-state captured just before the pending
+view was computed — and resumed later on an equal dataset, producing a
+run byte-identical to the uninterrupted one.  JSON stores Python floats
+via ``repr``, which round-trips IEEE-754 doubles exactly, and holds
+arbitrary-precision integers, so the 128-bit PCG64 state needs no
+special casing.  See ``docs/ENGINE.md`` for the format.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.core.config import SearchConfig
+from repro.core.counting import PreferenceCounter
+from repro.core.engine import (
+    EnginePhase,
+    EngineState,
+    SearchEngine,
+    TerminationReason,
+    ViewRequest,
+)
+from repro.core.meaningfulness import MeaningfulnessAccumulator
 from repro.core.search import SearchResult
-from repro.core.session import SearchSession
+from repro.core.session import (
+    MajorIterationRecord,
+    MinorIterationRecord,
+    SearchSession,
+)
+from repro.core.termination import StabilityTermination
+from repro.data.dataset import Dataset
+from repro.density.profiles import ProfileStatistics
+from repro.exceptions import CheckpointError, EngineStateError
+from repro.geometry.subspace import Subspace
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+
+#: Discriminator stored in every checkpoint payload.
+CHECKPOINT_FORMAT = "repro.engine-checkpoint"
+#: Bumped on incompatible layout changes; loaders reject other versions.
+CHECKPOINT_VERSION = 1
+
+_CHECKPOINTS = counter("engine.checkpoints")
 
 
 def session_to_dict(
@@ -136,3 +175,326 @@ def save_result(
 def load_result_dict(path: str | Path) -> dict[str, Any]:
     """Read back a result archive as a plain dictionary."""
     return json.loads(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Engine checkpoints
+# ----------------------------------------------------------------------
+def dataset_fingerprint(dataset: Dataset) -> dict[str, Any]:
+    """Identity of a dataset for checkpoint validation.
+
+    The SHA-256 digest of the raw point bytes makes "same dataset"
+    checkable without archiving the points themselves.
+    """
+    pts = np.ascontiguousarray(dataset.points)
+    return {
+        "name": dataset.name,
+        "size": int(dataset.size),
+        "dim": int(dataset.dim),
+        "sha256": hashlib.sha256(pts.tobytes()).hexdigest(),
+    }
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to JSON-native types."""
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _session_to_lossless_dict(session: SearchSession) -> dict[str, Any]:
+    """Full-fidelity session codec (checkpoints must not drop anything)."""
+    minors = []
+    for record in session.minor_records:
+        stats = record.profile_statistics
+        minors.append(
+            {
+                "major": record.major_index,
+                "minor": record.minor_index,
+                "basis": record.subspace.basis.tolist(),
+                "profile": {
+                    "query_density": stats.query_density,
+                    "peak_density": stats.peak_density,
+                    "median_density": stats.median_density,
+                    "mean_density": stats.mean_density,
+                    "query_percentile": stats.query_percentile,
+                    "peak_to_median": stats.peak_to_median,
+                    "mean_point_density": stats.mean_point_density,
+                },
+                "accepted": record.accepted,
+                "threshold": record.threshold,
+                "selected_count": record.selected_count,
+                "live_count": record.live_count,
+                "note": record.note,
+                "refinement_dims": list(record.refinement_dims),
+                "selected_indices": [int(i) for i in record.selected_indices],
+            }
+        )
+    majors = [
+        {
+            "index": record.index,
+            "live_before": record.live_count_before,
+            "live_after": record.live_count_after,
+            "pick_counts": list(record.pick_counts),
+            "expected": record.expected,
+            "variance": record.variance,
+            "accepted_views": record.accepted_views,
+            "overlap": record.overlap,
+        }
+        for record in session.major_records
+    ]
+    return {
+        "minor_records": minors,
+        "major_records": majors,
+        "probability_history": [p.tolist() for p in session.probability_history],
+    }
+
+
+def _session_from_lossless_dict(payload: dict[str, Any]) -> SearchSession:
+    """Inverse of :func:`_session_to_lossless_dict`."""
+    session = SearchSession()
+    for entry in payload["minor_records"]:
+        session.minor_records.append(
+            MinorIterationRecord(
+                major_index=int(entry["major"]),
+                minor_index=int(entry["minor"]),
+                subspace=Subspace.from_orthonormal(
+                    np.asarray(entry["basis"], dtype=float)
+                ),
+                profile_statistics=ProfileStatistics(
+                    query_density=float(entry["profile"]["query_density"]),
+                    peak_density=float(entry["profile"]["peak_density"]),
+                    median_density=float(entry["profile"]["median_density"]),
+                    mean_density=float(entry["profile"]["mean_density"]),
+                    query_percentile=float(entry["profile"]["query_percentile"]),
+                    peak_to_median=float(entry["profile"]["peak_to_median"]),
+                    mean_point_density=float(
+                        entry["profile"]["mean_point_density"]
+                    ),
+                ),
+                accepted=bool(entry["accepted"]),
+                threshold=(
+                    None
+                    if entry["threshold"] is None
+                    else float(entry["threshold"])
+                ),
+                selected_count=int(entry["selected_count"]),
+                live_count=int(entry["live_count"]),
+                note=str(entry["note"]),
+                refinement_dims=tuple(int(d) for d in entry["refinement_dims"]),
+                selected_indices=np.asarray(
+                    entry["selected_indices"], dtype=int
+                ),
+            )
+        )
+    for entry in payload["major_records"]:
+        session.major_records.append(
+            MajorIterationRecord(
+                index=int(entry["index"]),
+                live_count_before=int(entry["live_before"]),
+                live_count_after=int(entry["live_after"]),
+                pick_counts=tuple(int(c) for c in entry["pick_counts"]),
+                expected=float(entry["expected"]),
+                variance=float(entry["variance"]),
+                accepted_views=int(entry["accepted_views"]),
+                overlap=(
+                    None if entry["overlap"] is None else float(entry["overlap"])
+                ),
+            )
+        )
+    session.probability_history = [
+        np.asarray(snapshot, dtype=float)
+        for snapshot in payload["probability_history"]
+    ]
+    return session
+
+
+def checkpoint_to_dict(engine: SearchEngine) -> dict[str, Any]:
+    """Serialize a suspended engine to a JSON-compatible dictionary.
+
+    The engine must be in phase ``AWAITING_DECISION`` — the only
+    suspension point of the state machine, reached before every user
+    decision, so a run can be checkpointed at *any* minor-iteration
+    boundary.  The snapshot captures the boundary *before* the pending
+    view was computed (``rng_state_at_view``), so resuming recomputes
+    the identical view and continues the run byte-for-byte.
+
+    Raises
+    ------
+    repro.exceptions.EngineStateError
+        If the engine is not awaiting a decision.
+    """
+    if engine.phase != EnginePhase.AWAITING_DECISION:
+        raise EngineStateError(
+            "only an engine awaiting a decision can be checkpointed "
+            f"(phase: {engine.phase.value})"
+        )
+    state = engine.state
+    with span(
+        "engine.checkpoint",
+        major=state.major,
+        minor=state.minor,
+        step=state.step,
+    ):
+        config = engine.config
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "config": {
+                "support": config.support,
+                "axis_parallel": config.axis_parallel,
+                "grid_resolution": config.grid_resolution,
+                "bandwidth_scale": config.bandwidth_scale,
+                "overlap_threshold": config.overlap_threshold,
+                "min_major_iterations": config.min_major_iterations,
+                "max_major_iterations": config.max_major_iterations,
+                "projection_restarts": config.projection_restarts,
+                "projection_weight": config.projection_weight,
+                "remove_unpicked": config.remove_unpicked,
+                "use_live_population": config.use_live_population,
+                "rng_seed": config.rng_seed,
+            },
+            "dataset": dataset_fingerprint(engine.dataset),
+            "state": {
+                "query": state.query.tolist(),
+                "live": [int(i) for i in state.live],
+                "major": state.major,
+                "minor": state.minor,
+                # The pending view is recomputed on resume, so the step
+                # counter rolls back to the pre-view value.
+                "step": state.step - 1,
+                "reason": state.reason.name,
+                "current_basis": state.current.basis.tolist(),
+                "rng_state": _jsonify(state.rng_state_at_view),
+                "preferences": state.preferences.state_dict(),
+                "accumulator": state.accumulator.state_dict(),
+                "termination": state.termination.state_dict(),
+                "session": _session_to_lossless_dict(state.session),
+            },
+        }
+        _CHECKPOINTS.inc()
+        return payload
+
+
+def save_checkpoint(engine: SearchEngine, path: str | Path) -> Path:
+    """Write a suspended engine's checkpoint as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(checkpoint_to_dict(engine), sort_keys=True))
+    return path
+
+
+def load_checkpoint(path: str | Path) -> dict[str, Any]:
+    """Read a checkpoint file back into a dictionary (validated)."""
+    payload = json.loads(Path(path).read_text())
+    _validate_checkpoint(payload)
+    return payload
+
+
+def _validate_checkpoint(payload: dict[str, Any]) -> None:
+    if not isinstance(payload, dict):
+        raise CheckpointError("checkpoint payload must be a JSON object")
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not an engine checkpoint (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {payload.get('version')!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    for key in ("config", "dataset", "state"):
+        if key not in payload:
+            raise CheckpointError(f"checkpoint is missing the {key!r} section")
+
+
+def resume_engine(
+    checkpoint: dict[str, Any],
+    dataset: Dataset,
+    *,
+    precomputed: Any = None,
+    structural_spans: bool = True,
+) -> tuple[SearchEngine, ViewRequest]:
+    """Rebuild a suspended engine from a checkpoint dictionary.
+
+    Parameters
+    ----------
+    checkpoint:
+        A payload produced by :func:`checkpoint_to_dict` (or read via
+        :func:`load_checkpoint`).
+    dataset:
+        The dataset the checkpointed run was searching.  Validated
+        against the stored fingerprint (size, dimension, SHA-256 of the
+        point bytes) — checkpoints never embed the data itself.
+    precomputed:
+        Optional shared :class:`~repro.core.engine.DatasetPrecomputation`.
+    structural_spans:
+        Forwarded to :class:`~repro.core.engine.SearchEngine`.
+
+    Returns
+    -------
+    tuple[SearchEngine, ViewRequest]
+        The resumed engine plus the recomputed pending view request —
+        identical to the one the interrupted run was awaiting.
+
+    Raises
+    ------
+    repro.exceptions.CheckpointError
+        If the payload is malformed, of an unknown version, or the
+        dataset does not match the fingerprint.
+    """
+    _validate_checkpoint(checkpoint)
+    fingerprint = checkpoint["dataset"]
+    actual = dataset_fingerprint(dataset)
+    for key in ("size", "dim", "sha256"):
+        if fingerprint.get(key) != actual[key]:
+            raise CheckpointError(
+                f"dataset mismatch: checkpoint {key}={fingerprint.get(key)!r}, "
+                f"given dataset {key}={actual[key]!r}"
+            )
+    try:
+        config = SearchConfig(**checkpoint["config"])
+        raw = checkpoint["state"]
+        rng = np.random.default_rng(config.rng_seed)
+        rng.bit_generator.state = raw["rng_state"]
+        query = np.asarray(raw["query"], dtype=float)
+        state = EngineState(
+            query=query,
+            live=np.asarray(raw["live"], dtype=int),
+            major=int(raw["major"]),
+            minor=int(raw["minor"]),
+            step=int(raw["step"]),
+            support=config.effective_support(dataset.dim),
+            views_per_major=dataset.dim // 2,
+            current=Subspace.from_orthonormal(
+                np.asarray(raw["current_basis"], dtype=float)
+            ),
+            preferences=PreferenceCounter.from_state_dict(raw["preferences"]),
+            accumulator=MeaningfulnessAccumulator.from_state_dict(
+                raw["accumulator"]
+            ),
+            termination=StabilityTermination.from_state_dict(raw["termination"]),
+            session=_session_from_lossless_dict(raw["session"]),
+            rng=rng,
+            reason=TerminationReason[raw["reason"]],
+        )
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint state: {exc}") from exc
+    engine = SearchEngine(
+        dataset,
+        config,
+        precomputed=precomputed,
+        structural_spans=structural_spans,
+    )
+    event = engine._restore(state)
+    return engine, event

@@ -65,6 +65,40 @@ class StabilityTermination:
         """Major iterations observed so far."""
         return self._iterations
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Lossless JSON-compatible snapshot (see checkpointing docs)."""
+        return {
+            "support": self._support,
+            "overlap_threshold": self._threshold,
+            "min_iterations": self._min_iterations,
+            "max_iterations": self._max_iterations,
+            "previous_top": (
+                None
+                if self._previous_top is None
+                else [int(i) for i in self._previous_top]
+            ),
+            "iterations": self._iterations,
+            "last_overlap": self.last_overlap,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StabilityTermination":
+        """Rebuild a tracker from a :meth:`state_dict` snapshot."""
+        tracker = cls(
+            int(state["support"]),
+            float(state["overlap_threshold"]),
+            min_iterations=int(state["min_iterations"]),
+            max_iterations=int(state["max_iterations"]),
+        )
+        previous = state["previous_top"]
+        if previous is not None:
+            tracker._previous_top = np.asarray(previous, dtype=int)
+        tracker._iterations = int(state["iterations"])
+        overlap = state["last_overlap"]
+        tracker.last_overlap = None if overlap is None else float(overlap)
+        return tracker
+
     def should_stop(self, probabilities: np.ndarray) -> bool:
         """Record one major iteration's probabilities; True = terminate.
 

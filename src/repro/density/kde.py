@@ -173,9 +173,11 @@ class KernelDensityEstimator:
     ) -> np.ndarray:
         lo = self._points.min(axis=0)
         hi = self._points.max(axis=0)
-        span = np.maximum(hi - lo, 1e-12)
-        lo = lo - padding * span
-        hi = hi + padding * span
+        # Named ``extent`` (not ``span``) so the module-level tracing
+        # helper of the same name is never shadowed.
+        extent = np.maximum(hi - lo, 1e-12)
+        lo = lo - padding * extent
+        hi = hi + padding * extent
         gx = np.linspace(lo[0], hi[0], grid_resolution)
         gy = np.linspace(lo[1], hi[1], grid_resolution)
         density = self.evaluate_on_grid(gx, gy)

@@ -34,3 +34,13 @@ class InteractionError(ReproError):
 
 class ConvergenceError(ReproError):
     """The interactive search failed to converge within its budget."""
+
+
+class EngineStateError(ReproError):
+    """A :class:`repro.core.engine.SearchEngine` was driven out of order
+    (started twice, submitted to without a pending view, ...)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint is malformed, incompatible, or does not match the
+    dataset it is being resumed against."""

@@ -141,6 +141,28 @@ class Subspace:
         """The zero-dimensional subspace of ``R^d``."""
         return cls(np.zeros((0, ambient_dim)))
 
+    @classmethod
+    def from_orthonormal(cls, basis: np.ndarray) -> "Subspace":
+        """Trusted constructor: adopt *basis* without re-orthonormalizing.
+
+        Checkpoint restoration (see :mod:`repro.core.serialization`)
+        must rebuild a subspace whose basis is *bit-identical* to the
+        serialized one; routing through :meth:`__init__` would re-run QR
+        and could perturb the floats.  The caller guarantees the rows
+        are orthonormal — that is verified cheaply (Gram matrix against
+        the identity at loose tolerance) to catch corrupted inputs, but
+        the stored basis is the given array, unchanged.
+        """
+        arr = np.array(_as_2d_float(basis))  # owned copy
+        if arr.shape[0]:
+            gram = arr @ arr.T
+            if not np.allclose(gram, np.eye(arr.shape[0]), atol=1e-8):
+                raise SubspaceError("basis rows are not orthonormal")
+        instance = cls.__new__(cls)
+        arr.setflags(write=False)
+        instance._basis = arr
+        return instance
+
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------

@@ -7,6 +7,7 @@ from repro.interaction.base import (
     UserDecision,
     validate_decision,
 )
+from repro.interaction.driver import AsyncUserDriver
 from repro.interaction.heuristic import HeuristicUser
 from repro.interaction.oracle import OracleUser, f1_score, fbeta_score
 from repro.interaction.scripted import (
@@ -23,6 +24,7 @@ __all__ = [
     "UserAgent",
     "ThresholdSweep",
     "validate_decision",
+    "AsyncUserDriver",
     "OracleUser",
     "f1_score",
     "fbeta_score",

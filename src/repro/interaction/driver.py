@@ -1,0 +1,150 @@
+"""Asynchronous driver over the sans-io search engine.
+
+The engine (:class:`repro.core.engine.SearchEngine`) never blocks on a
+user; it returns a :class:`~repro.core.engine.ViewRequest` and waits to
+be fed a decision.  :class:`AsyncUserDriver` adapts that state machine
+to ``asyncio``: view requests flow out through one queue, decisions
+flow back through another, so a UI task (a websocket handler, a GUI
+event loop, a test harness) can serve the human on its own schedule
+while the computer-side work runs inside :meth:`AsyncUserDriver.run`.
+
+::
+
+    driver = AsyncUserDriver(engine)
+    run_task = asyncio.create_task(driver.run(query))
+    while (request := await driver.next_request()) is not None:
+        decision = await present_to_user(request.view)   # any latency
+        await driver.submit(decision)
+    result = await run_task
+
+:meth:`AsyncUserDriver.serve` packages that loop for callers that
+already have an async decision function.
+
+The driver deliberately imports nothing from :mod:`repro.core` at
+module import time — the package initializer loads ``repro.interaction``
+before the core modules, so a module-level import would be circular.
+The engine arrives fully formed through the constructor and is only
+*used* here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from repro.exceptions import InteractionError
+from repro.interaction.base import UserDecision, validate_decision
+from repro.obs.logging import get_logger
+
+_log = get_logger("interaction.driver")
+
+
+class AsyncUserDriver:
+    """Queue-based asyncio adapter for one engine run.
+
+    Parameters
+    ----------
+    engine:
+        A fresh :class:`~repro.core.engine.SearchEngine` (or one resumed
+        from a checkpoint — pass the pending event via *initial_event*).
+    initial_event:
+        When resuming, the :class:`~repro.core.engine.ViewRequest`
+        returned by :func:`repro.core.serialization.resume_engine`;
+        :meth:`run` then skips ``engine.start`` and serves that view
+        first (its *query* argument is ignored).
+    maxsize:
+        Bound for both internal queues (0 = unbounded).  The engine
+        produces at most one outstanding request at a time, so the
+        default is plenty; the bound exists to surface protocol bugs.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        initial_event: Any = None,
+        maxsize: int = 2,
+    ) -> None:
+        self._engine = engine
+        self._initial_event = initial_event
+        self._requests: asyncio.Queue[Any] = asyncio.Queue(maxsize=maxsize)
+        self._decisions: asyncio.Queue[UserDecision] = asyncio.Queue(
+            maxsize=maxsize
+        )
+        self._running = False
+
+    @property
+    def engine(self) -> Any:
+        """The driven engine (inspect ``engine.state`` between views)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    async def next_request(self) -> Any:
+        """Await the next view request; ``None`` once the run finished."""
+        return await self._requests.get()
+
+    async def submit(self, decision: UserDecision) -> None:
+        """Answer the most recent view request."""
+        await self._decisions.put(decision)
+
+    # ------------------------------------------------------------------
+    # Engine side
+    # ------------------------------------------------------------------
+    async def run(self, query: Any = None) -> Any:
+        """Drive the engine to completion; returns its ``SearchResult``.
+
+        Computer-side work (projection search, density estimation) runs
+        inline on the event loop; the coroutine only suspends while
+        waiting for decisions, so user latency never blocks other tasks.
+        """
+        if self._running:
+            raise InteractionError("AsyncUserDriver.run is already active")
+        self._running = True
+        try:
+            if self._initial_event is not None:
+                event = self._initial_event
+                self._initial_event = None
+            else:
+                event = self._engine.start(query)
+            while not self._engine.finished:
+                await self._requests.put(event)
+                decision = await self._decisions.get()
+                decision = validate_decision(decision, event.view)
+                event = self._engine.submit(decision)
+            await self._requests.put(None)  # sentinel: no more views
+            return event
+        finally:
+            self._running = False
+
+    async def serve(
+        self,
+        query: Any,
+        decide: Callable[[Any], Awaitable[UserDecision]],
+    ) -> Any:
+        """Run the full dialogue with an async decision function.
+
+        Parameters
+        ----------
+        query:
+            The query point (ignored when resuming via *initial_event*).
+        decide:
+            ``async def decide(view) -> UserDecision`` — awaited once
+            per view request.
+
+        Returns
+        -------
+        The engine's ``SearchResult``.
+        """
+        run_task = asyncio.ensure_future(self.run(query))
+        try:
+            while True:
+                request = await self.next_request()
+                if request is None:
+                    break
+                await self.submit(await decide(request.view))
+        except BaseException:
+            run_task.cancel()
+            raise
+        return await run_task

@@ -72,3 +72,83 @@ class TestRunBatch:
         )
         assert batch.meaningful_count == 0
         assert batch.mean_natural_size == 0.0
+
+
+class TestInterleavedScheduler:
+    def test_invalid_max_in_flight(self, small_clustered):
+        search = InteractiveNNSearch(small_clustered.dataset, FAST)
+        with pytest.raises(ConfigurationError):
+            run_batch(
+                search, np.array([0]), lambda qi: None, max_in_flight=0
+            )
+
+    def test_all_indices_validated_before_any_run(self, small_clustered):
+        """A bad index late in the list fails fast, before work starts."""
+        ds = small_clustered.dataset
+        calls = []
+
+        def factory(qi):
+            calls.append(qi)
+            return OracleUser(ds, qi)
+
+        search = InteractiveNNSearch(ds, FAST)
+        queries = np.array([0, 1, ds.size + 5])
+        with pytest.raises(ConfigurationError):
+            run_batch(search, queries, factory)
+        assert calls == []
+
+    @pytest.mark.parametrize("max_in_flight", [1, 2, 16])
+    def test_interleaving_invariant(self, small_clustered, max_in_flight):
+        """Per-query outcomes are identical for every interleaving."""
+        ds = small_clustered.dataset
+        queries = np.concatenate(
+            [ds.cluster_indices(0)[:2], ds.cluster_indices(1)[:2]]
+        )
+        search = InteractiveNNSearch(ds, FAST)
+        sequential = run_batch(
+            search, queries, lambda qi: OracleUser(ds, qi), max_in_flight=1
+        )
+        interleaved = run_batch(
+            search,
+            queries,
+            lambda qi: OracleUser(ds, qi),
+            max_in_flight=max_in_flight,
+        )
+        assert [e.query_index for e in interleaved.entries] == queries.tolist()
+        for got, expected in zip(interleaved.entries, sequential.entries):
+            assert np.array_equal(got.neighbors, expected.neighbors)
+            assert np.array_equal(
+                got.result.probabilities, expected.result.probabilities
+            )
+            assert got.result.reason == expected.result.reason
+
+    def test_duplicate_query_indices_supported(self, small_clustered):
+        """neighbors_of resolves duplicates to a single (last) entry."""
+        ds = small_clustered.dataset
+        qi = int(ds.cluster_indices(0)[0])
+        search = InteractiveNNSearch(ds, FAST)
+        batch = run_batch(
+            search,
+            np.array([qi, qi]),
+            lambda q: OracleUser(ds, q),
+            max_in_flight=2,
+        )
+        assert batch.query_count == 2
+        assert np.array_equal(
+            batch.entries[0].neighbors, batch.entries[1].neighbors
+        )
+        assert np.array_equal(
+            batch.neighbors_of(qi), batch.entries[1].neighbors
+        )
+
+    def test_entry_of_returns_full_entry(self, small_clustered):
+        ds = small_clustered.dataset
+        queries = ds.cluster_indices(0)[:2]
+        search = InteractiveNNSearch(ds, FAST)
+        batch = run_batch(
+            search, queries, lambda qi: OracleUser(ds, qi), max_in_flight=2
+        )
+        entry = batch.entry_of(int(queries[1]))
+        assert entry.query_index == int(queries[1])
+        with pytest.raises(ConfigurationError):
+            batch.entry_of(-1)

@@ -1,0 +1,190 @@
+"""Unit tests for the sans-io :class:`SearchEngine` state machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.engine import (
+    DatasetPrecomputation,
+    EnginePhase,
+    SearchEngine,
+    SearchResult,
+    TerminationReason,
+    ViewRequest,
+)
+from repro.core.search import InteractiveNNSearch, drive
+from repro.data.dataset import Dataset
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionalityError,
+    EngineStateError,
+)
+from repro.interaction.oracle import OracleUser
+
+CONFIG = SearchConfig(
+    support=15,
+    grid_resolution=30,
+    min_major_iterations=2,
+    max_major_iterations=2,
+    projection_restarts=2,
+)
+
+
+@pytest.fixture
+def clustered(small_clustered):
+    return small_clustered.dataset
+
+
+def test_lifecycle_phases(clustered):
+    qi = int(clustered.cluster_indices(0)[0])
+    user = OracleUser(clustered, qi)
+    engine = SearchEngine(clustered, CONFIG)
+    assert engine.phase == EnginePhase.CREATED
+    assert not engine.finished
+
+    event = engine.start(clustered.points[qi])
+    assert isinstance(event, ViewRequest)
+    assert engine.phase == EnginePhase.AWAITING_DECISION
+    assert engine.pending_view is event.view
+    assert event.major_index == 0 and event.minor_index == 0
+    assert event.step == 1
+
+    steps = 0
+    while isinstance(event, ViewRequest):
+        steps += 1
+        decision = user.review_view(event.view)
+        event = engine.submit(decision)
+    assert isinstance(event, SearchResult)
+    assert engine.phase == EnginePhase.FINISHED
+    assert engine.finished
+    assert engine.result is event
+    assert engine.pending_view is None
+    assert steps == event.session.total_views
+
+
+def test_engine_matches_blocking_facade(clustered):
+    qi = int(clustered.cluster_indices(0)[0])
+    baseline = InteractiveNNSearch(clustered, CONFIG).run(
+        clustered.points[qi], OracleUser(clustered, qi)
+    )
+    result = drive(
+        SearchEngine(clustered, CONFIG),
+        clustered.points[qi],
+        OracleUser(clustered, qi),
+    )
+    assert np.array_equal(result.neighbor_indices, baseline.neighbor_indices)
+    assert np.array_equal(result.probabilities, baseline.probabilities)
+    assert result.reason == baseline.reason
+
+
+def test_view_request_metadata_tracks_iterations(clustered):
+    qi = int(clustered.cluster_indices(0)[0])
+    user = OracleUser(clustered, qi)
+    engine = SearchEngine(clustered, CONFIG)
+    event = engine.start(clustered.points[qi])
+    seen = []
+    step = 0
+    while isinstance(event, ViewRequest):
+        step += 1
+        assert event.step == step
+        seen.append((event.major_index, event.minor_index))
+        state = engine.state
+        assert (state.major, state.minor) == seen[-1]
+        event = engine.submit(user.review_view(event.view))
+    # Coordinates are lexicographically non-decreasing.
+    assert seen == sorted(seen)
+    assert len(set(seen)) == len(seen)
+
+
+def test_start_twice_raises(clustered):
+    engine = SearchEngine(clustered, CONFIG)
+    engine.start(clustered.points[0])
+    with pytest.raises(EngineStateError):
+        engine.start(clustered.points[0])
+
+
+def test_submit_without_pending_raises(clustered):
+    engine = SearchEngine(clustered, CONFIG)
+    with pytest.raises(EngineStateError):
+        engine.submit(None)
+
+
+def test_state_and_result_guards(clustered):
+    engine = SearchEngine(clustered, CONFIG)
+    with pytest.raises(EngineStateError):
+        _ = engine.state
+    with pytest.raises(EngineStateError):
+        _ = engine.result
+    engine.start(clustered.points[0])
+    with pytest.raises(EngineStateError):
+        _ = engine.result
+
+
+def test_query_shape_validated(clustered):
+    engine = SearchEngine(clustered, CONFIG)
+    with pytest.raises(DimensionalityError):
+        engine.start(np.zeros(clustered.dim + 1))
+
+
+def test_tiny_dataset_finishes_without_views():
+    points = np.random.default_rng(0).normal(size=(2, 6))
+    dataset = Dataset(points=points, name="tiny")
+    engine = SearchEngine(dataset, SearchConfig(support=5))
+    outcome = engine.start(points[0])
+    assert isinstance(outcome, SearchResult)
+    assert outcome.reason == TerminationReason.EXHAUSTED
+    assert engine.finished
+
+
+def test_precomputation_shared_across_engines(clustered):
+    shared = DatasetPrecomputation(clustered)
+    qi = int(clustered.cluster_indices(0)[0])
+    for structural in (True, False):
+        result = drive(
+            SearchEngine(
+                clustered,
+                CONFIG,
+                precomputed=shared,
+                structural_spans=structural,
+            ),
+            clustered.points[qi],
+            OracleUser(clustered, qi),
+        )
+        cold = drive(
+            SearchEngine(clustered, CONFIG),
+            clustered.points[qi],
+            OracleUser(clustered, qi),
+        )
+        assert np.array_equal(result.probabilities, cold.probabilities)
+        assert np.array_equal(result.neighbor_indices, cold.neighbor_indices)
+
+
+def test_precomputation_dataset_mismatch(clustered, small_uniform):
+    shared = DatasetPrecomputation(small_uniform)
+    with pytest.raises(ConfigurationError):
+        SearchEngine(clustered, CONFIG, precomputed=shared)
+
+
+def test_precomputation_full_live_is_read_only(clustered):
+    shared = DatasetPrecomputation(clustered)
+    assert shared.full_live.size == clustered.size
+    with pytest.raises(ValueError):
+        shared.full_live[0] = 7
+    # points_for the full set reuses the dataset array (no copy)...
+    full = shared.points_for(shared.full_live)
+    assert np.shares_memory(full, shared.points_for(shared.full_live))
+    # ...while a pruned set gets a fresh slice with identical values.
+    subset = shared.points_for(np.arange(5))
+    assert np.array_equal(subset, clustered.points[:5])
+    # Lazy global statistics are cached on first use.
+    assert shared.axis_variance() is shared.axis_variance()
+    assert shared.covariance() is shared.covariance()
+
+
+def test_close_is_idempotent(clustered):
+    engine = SearchEngine(clustered, CONFIG)
+    engine.start(clustered.points[0])
+    engine.close()
+    engine.close()

@@ -1,0 +1,1 @@
+"""Golden fixtures captured from the pre-engine blocking loop."""

@@ -1,0 +1,221 @@
+"""Regenerate the golden equivalence fixtures for the search engine.
+
+The goldens in ``search_goldens.json`` were captured from the
+pre-engine (blocking-loop) implementation of
+:class:`~repro.core.search.InteractiveNNSearch` immediately before the
+sans-io refactor.  They lock in the acceptance criterion that the
+engine-driven ``run()`` produces **byte-identical** results: neighbor
+indices, full-precision probabilities, termination reason, and the
+session's per-iteration digests.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/make_goldens.py
+
+Only rerun this script deliberately — committing regenerated goldens
+re-baselines the equivalence proof.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import run_batch
+from repro.core.config import SearchConfig
+from repro.core.search import InteractiveNNSearch
+from repro.data.synthetic import (
+    ProjectedClusterSpec,
+    generate_projected_clusters,
+    uniform_dataset,
+)
+from repro.interaction.heuristic import HeuristicUser
+from repro.interaction.oracle import OracleUser
+
+OUT = Path(__file__).with_name("search_goldens.json")
+
+
+def clustered_dataset():
+    """The conftest ``small_clustered`` dataset, regenerated exactly."""
+    spec = ProjectedClusterSpec(
+        n_points=600,
+        dim=10,
+        n_clusters=3,
+        cluster_dim=4,
+        axis_parallel=True,
+        noise_fraction=0.1,
+    )
+    return generate_projected_clusters(spec, np.random.default_rng(99)).dataset
+
+
+def uniform():
+    return uniform_dataset(np.random.default_rng(7), n_points=400, dim=10)
+
+
+CASES = {
+    "oracle_default": {
+        "dataset": "clustered",
+        "query": ("cluster", 0, 0),
+        "user": "oracle",
+        "config": dict(
+            support=15,
+            grid_resolution=30,
+            min_major_iterations=2,
+            max_major_iterations=3,
+            projection_restarts=2,
+        ),
+    },
+    "axis_parallel": {
+        "dataset": "clustered",
+        "query": ("cluster", 1, 0),
+        "user": "oracle",
+        "config": dict(
+            support=12,
+            axis_parallel=True,
+            grid_resolution=30,
+            min_major_iterations=2,
+            max_major_iterations=3,
+            projection_restarts=3,
+            rng_seed=5,
+        ),
+    },
+    "paper_exact_heuristic": {
+        "dataset": "uniform",
+        "query": ("index", 0),
+        "user": "heuristic",
+        "config": dict(
+            _paper_exact=True,
+            support=12,
+            grid_resolution=30,
+            min_major_iterations=2,
+            max_major_iterations=3,
+        ),
+    },
+    "weighted_no_prune": {
+        "dataset": "clustered",
+        "query": ("cluster", 2, 1),
+        "user": "oracle_weighted",
+        "config": dict(
+            support=15,
+            grid_resolution=30,
+            min_major_iterations=2,
+            max_major_iterations=2,
+            projection_restarts=2,
+            remove_unpicked=False,
+            use_live_population=False,
+            projection_weight=1.25,
+        ),
+    },
+}
+
+
+def build_case(name: str, case: dict) -> dict:
+    ds = clustered_dataset() if case["dataset"] == "clustered" else uniform()
+    q = case["query"]
+    if q[0] == "cluster":
+        query_index = int(ds.cluster_indices(q[1])[q[2]])
+    else:
+        query_index = int(q[1])
+    params = dict(case["config"])
+    if params.pop("_paper_exact", False):
+        config = SearchConfig.paper_exact(**params)
+    else:
+        config = SearchConfig(**params)
+    if case["user"] == "oracle":
+        user = OracleUser(ds, query_index)
+    elif case["user"] == "oracle_weighted":
+        user = OracleUser(ds, query_index, weight_by_confidence=True)
+    else:
+        user = HeuristicUser()
+    result = InteractiveNNSearch(ds, config).run(ds.points[query_index], user)
+    session = result.session
+    return {
+        "query_index": query_index,
+        "neighbor_indices": result.neighbor_indices.tolist(),
+        "probabilities": result.probabilities.tolist(),
+        "support": result.support,
+        "reason": result.reason.value,
+        "probability_history": [
+            p.tolist() for p in session.probability_history
+        ],
+        "minor_records": [
+            {
+                "major": r.major_index,
+                "minor": r.minor_index,
+                "accepted": r.accepted,
+                "threshold": r.threshold,
+                "selected_count": r.selected_count,
+                "live_count": r.live_count,
+                "refinement_dims": list(r.refinement_dims),
+                "selected_indices": r.selected_indices.tolist(),
+                "basis": r.subspace.basis.tolist(),
+            }
+            for r in session.minor_records
+        ],
+        "major_records": [
+            {
+                "index": r.index,
+                "live_before": r.live_count_before,
+                "live_after": r.live_count_after,
+                "pick_counts": list(r.pick_counts),
+                "expected": r.expected,
+                "variance": r.variance,
+                "accepted_views": r.accepted_views,
+                "overlap": r.overlap,
+            }
+            for r in session.major_records
+        ],
+    }
+
+
+def build_batch_golden() -> dict:
+    ds = clustered_dataset()
+    config = SearchConfig(
+        support=15,
+        grid_resolution=30,
+        min_major_iterations=2,
+        max_major_iterations=2,
+        projection_restarts=2,
+    )
+    queries = np.concatenate(
+        [ds.cluster_indices(0)[:2], ds.cluster_indices(1)[:1]]
+    )
+    batch = run_batch(
+        InteractiveNNSearch(ds, config),
+        queries,
+        lambda qi: OracleUser(ds, qi),
+    )
+    return {
+        "query_indices": queries.tolist(),
+        "entries": [
+            {
+                "query_index": e.query_index,
+                "neighbors": e.neighbors.tolist(),
+                "neighbor_indices": e.result.neighbor_indices.tolist(),
+                "probabilities": e.result.probabilities.tolist(),
+                "reason": e.result.reason.value,
+                "meaningful": bool(e.diagnosis.meaningful),
+            }
+            for e in batch.entries
+        ],
+    }
+
+
+def main() -> None:
+    payload = {
+        "_comment": (
+            "Golden outputs captured from the pre-engine blocking-loop "
+            "InteractiveNNSearch. Regenerate only deliberately with "
+            "tests/golden/make_goldens.py."
+        ),
+        "cases": {name: build_case(name, case) for name, case in CASES.items()},
+        "batch": build_batch_golden(),
+    }
+    OUT.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Tests for the queue-based asyncio driver over the sans-io engine."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.engine import SearchEngine, ViewRequest
+from repro.core.search import InteractiveNNSearch
+from repro.core.serialization import checkpoint_to_dict, resume_engine
+from repro.exceptions import InteractionError
+from repro.interaction import AsyncUserDriver
+from repro.interaction.oracle import OracleUser
+
+CONFIG = SearchConfig(
+    support=15,
+    grid_resolution=30,
+    min_major_iterations=2,
+    max_major_iterations=2,
+    projection_restarts=2,
+)
+
+
+@pytest.fixture
+def clustered(small_clustered):
+    return small_clustered.dataset
+
+
+def _baseline(ds, qi):
+    return InteractiveNNSearch(ds, CONFIG).run(
+        ds.points[qi], OracleUser(ds, qi)
+    )
+
+
+def test_serve_matches_blocking_run(clustered):
+    qi = int(clustered.cluster_indices(0)[0])
+    baseline = _baseline(clustered, qi)
+    user = OracleUser(clustered, qi)
+
+    async def scenario():
+        driver = AsyncUserDriver(SearchEngine(clustered, CONFIG))
+
+        async def decide(view):
+            await asyncio.sleep(0)  # arbitrary user-side latency
+            return user.review_view(view)
+
+        return await driver.serve(clustered.points[qi], decide)
+
+    result = asyncio.run(scenario())
+    assert np.array_equal(result.neighbor_indices, baseline.neighbor_indices)
+    assert np.array_equal(result.probabilities, baseline.probabilities)
+    assert result.reason == baseline.reason
+
+
+def test_manual_request_decision_loop(clustered):
+    """The lower-level next_request/submit API, driven explicitly."""
+    qi = int(clustered.cluster_indices(1)[0])
+    baseline = _baseline(clustered, qi)
+    user = OracleUser(clustered, qi)
+
+    async def scenario():
+        driver = AsyncUserDriver(SearchEngine(clustered, CONFIG))
+        run_task = asyncio.create_task(driver.run(clustered.points[qi]))
+        views = 0
+        while (request := await driver.next_request()) is not None:
+            views += 1
+            assert request.view is driver.engine.pending_view
+            await driver.submit(user.review_view(request.view))
+        result = await run_task
+        assert views == result.session.total_views
+        return result
+
+    result = asyncio.run(scenario())
+    assert np.array_equal(result.neighbor_indices, baseline.neighbor_indices)
+    assert np.array_equal(result.probabilities, baseline.probabilities)
+
+
+def test_run_rejects_concurrent_invocation(clustered):
+    qi = int(clustered.cluster_indices(0)[0])
+
+    async def scenario():
+        driver = AsyncUserDriver(SearchEngine(clustered, CONFIG))
+        first = asyncio.create_task(driver.run(clustered.points[qi]))
+        await driver.next_request()  # first run is now live
+        with pytest.raises(InteractionError):
+            await driver.run(clustered.points[qi])
+        first.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await first
+
+    asyncio.run(scenario())
+
+
+def test_serve_from_resumed_checkpoint(clustered):
+    """A checkpointed run can be finished asynchronously."""
+    qi = int(clustered.cluster_indices(0)[0])
+    baseline = _baseline(clustered, qi)
+    user = OracleUser(clustered, qi)
+
+    engine = SearchEngine(clustered, CONFIG)
+    event = engine.start(clustered.points[qi])
+    for _ in range(2):
+        event = engine.submit(user.review_view(event.view))
+        assert isinstance(event, ViewRequest)
+    payload = checkpoint_to_dict(engine)
+    engine.close()
+
+    resumed, pending = resume_engine(payload, clustered)
+
+    async def scenario():
+        driver = AsyncUserDriver(resumed, initial_event=pending)
+        finisher = OracleUser(clustered, qi)
+
+        async def decide(view):
+            return finisher.review_view(view)
+
+        return await driver.serve(None, decide)
+
+    result = asyncio.run(scenario())
+    assert np.array_equal(result.neighbor_indices, baseline.neighbor_indices)
+    assert np.array_equal(result.probabilities, baseline.probabilities)
+    assert result.reason == baseline.reason

@@ -59,6 +59,83 @@ class TestDemo:
         assert payload["session"]["total_views"] > 0
 
 
+class TestCheckpointResume:
+    DEMO = ["demo", "--points", "500", "--support", "12", "--seed", "7"]
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        ckpt = tmp_path / "run.ckpt.json"
+        code = main(
+            self.DEMO + ["--checkpoint", str(ckpt), "--checkpoint-step", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written to" in out
+        assert "--resume" in out
+        payload = json.loads(ckpt.read_text())
+        assert payload["format"] == "repro.engine-checkpoint"
+
+        code = main(self.DEMO + ["--resume", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "precision" in out
+        assert "termination_reason" in out
+
+    def test_resume_matches_uninterrupted_run(self, capsys, tmp_path):
+        code = main(self.DEMO)
+        assert code == 0
+        uninterrupted = capsys.readouterr().out
+
+        ckpt = tmp_path / "run.ckpt.json"
+        assert (
+            main(
+                self.DEMO
+                + ["--checkpoint", str(ckpt), "--checkpoint-step", "3"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(self.DEMO + ["--resume", str(ckpt)]) == 0
+        resumed = capsys.readouterr().out
+        # Everything after the resume banner is identical to the
+        # uninterrupted run's report.
+        banner, _, tail = resumed.partition("\n")
+        assert banner.startswith("resumed from")
+        assert tail == uninterrupted
+
+    def test_resume_rejects_mismatched_dataset(self, capsys, tmp_path):
+        ckpt = tmp_path / "run.ckpt.json"
+        assert (
+            main(
+                self.DEMO
+                + ["--checkpoint", str(ckpt), "--checkpoint-step", "2"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        mismatched = ["demo", "--points", "600", "--support", "12", "--seed", "7"]
+        code = main(mismatched + ["--resume", str(ckpt)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+
+    def test_parser_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            [
+                "demo",
+                "--checkpoint",
+                "x.json",
+                "--checkpoint-step",
+                "5",
+                "--resume",
+                "y.json",
+            ]
+        )
+        assert args.checkpoint == "x.json"
+        assert args.checkpoint_step == 5
+        assert args.resume == "y.json"
+
+
 class TestDiagnose:
     def test_contrast_verdicts(self, capsys):
         code = main(["diagnose", "--points", "1200", "--seed", "13"])
