@@ -39,6 +39,7 @@ from repro.analysis import (
 )
 from repro.baselines import FullDimensionalKNN, ProjectedNN
 from repro.core import (
+    BatchResult,
     DatasetPrecomputation,
     EnginePhase,
     EngineState,
@@ -48,12 +49,15 @@ from repro.core import (
     SearchResult,
     TerminationReason,
     ViewRequest,
+    WorkerCrashError,
     checkpoint_to_dict,
     drive,
     find_query_centered_projection,
     load_checkpoint,
     orthogonal_projection_sequence,
     resume_engine,
+    run_batch,
+    run_parallel_batch,
     save_checkpoint,
 )
 from repro.data import (
@@ -86,7 +90,9 @@ from repro.exceptions import (
 from repro.geometry import Subspace
 from repro.interaction import (
     AsyncUserDriver,
+    HeuristicFactory,
     HeuristicUser,
+    OracleFactory,
     OracleUser,
     ProjectionView,
     ScriptedUser,
@@ -115,6 +121,10 @@ __all__ = [
     "resume_engine",
     "find_query_centered_projection",
     "orthogonal_projection_sequence",
+    "run_batch",
+    "run_parallel_batch",
+    "BatchResult",
+    "WorkerCrashError",
     # data
     "Dataset",
     "case1_dataset",
@@ -132,7 +142,9 @@ __all__ = [
     # interaction
     "AsyncUserDriver",
     "OracleUser",
+    "OracleFactory",
     "HeuristicUser",
+    "HeuristicFactory",
     "ScriptedUser",
     "TerminalUser",
     "ProjectionView",

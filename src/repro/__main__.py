@@ -215,6 +215,89 @@ def _session_inline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Batch search over many queries, optionally process-parallel."""
+    import time
+
+    from repro import InteractiveNNSearch, SearchConfig, run_batch
+    from repro.data.synthetic import (
+        ProjectedClusterSpec,
+        generate_projected_clusters,
+    )
+    from repro.density.cache import get_density_cache
+    from repro.interaction.factories import OracleFactory
+    from repro.obs.metrics import REGISTRY
+
+    spec = ProjectedClusterSpec(
+        n_points=args.points,
+        dim=10,
+        n_clusters=3,
+        cluster_dim=4,
+        axis_parallel=True,
+        noise_fraction=0.1,
+    )
+    data = generate_projected_clusters(spec, np.random.default_rng(args.seed))
+    dataset = data.dataset
+    rng = np.random.default_rng(args.seed + 1)
+    clustered = np.concatenate(
+        [dataset.cluster_indices(label) for label in range(3)]
+    )
+    queries = rng.choice(clustered, size=args.queries, replace=True)
+    config = SearchConfig(
+        support=args.support,
+        grid_resolution=30,
+        min_major_iterations=2,
+        max_major_iterations=2,
+        projection_restarts=2,
+    )
+    search = InteractiveNNSearch(dataset, config)
+    start = time.perf_counter()
+    result = run_batch(
+        search, queries, OracleFactory(), workers=args.workers
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"batch: {result.query_count} queries on {args.workers} worker(s) "
+        f"in {elapsed:.2f}s ({result.query_count / elapsed:.2f} q/s)"
+    )
+    print(
+        f"  meaningful: {result.meaningful_count}/{result.query_count} "
+        f"({result.meaningful_fraction:.1%})"
+    )
+    print(f"  mean natural-cluster size: {result.mean_natural_size:.1f}")
+    print(f"  mean acceptance rate:      {result.mean_acceptance_rate:.1%}")
+    cache = get_density_cache()
+    if args.workers > 1:
+        # Worker-side cache activity arrives as merged counter deltas.
+        hits = REGISTRY.get("kde.cache.hit")
+        misses = REGISTRY.get("kde.cache.miss")
+        hit_count = int(hits.value) if hits is not None else 0
+        miss_count = int(misses.value) if misses is not None else 0
+        total = hit_count + miss_count
+        print(
+            f"  kde grid cache (workers): {hit_count} hits / "
+            f"{miss_count} misses "
+            f"(hit rate {hit_count / total if total else 0.0:.1%})"
+        )
+    elif cache is not None:
+        stats = cache.stats()
+        print(
+            "  kde grid cache: "
+            f"{stats['hits']} hits / {stats['misses']} misses "
+            f"(hit rate {stats['hit_rate']:.1%}, "
+            f"{stats['entries']} entries)"
+        )
+    for name in (
+        "batch.parallel.tasks",
+        "batch.parallel.retries",
+        "batch.parallel.pool_restarts",
+    ):
+        instrument = REGISTRY.get(name)
+        if instrument is not None and instrument.value:
+            print(f"  {name}: {int(instrument.value)}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro import SearchConfig
@@ -320,6 +403,25 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--points", type=int, default=800)
     session.add_argument("--seed", type=int, default=77)
     session.set_defaults(func=_session_inline)
+
+    batch = sub.add_parser(
+        "batch",
+        help="batch search over many queries (optionally parallel)",
+        parents=[common],
+    )
+    batch.add_argument("--points", type=int, default=1200)
+    batch.add_argument("--queries", type=int, default=8)
+    batch.add_argument("--support", type=int, default=15)
+    batch.add_argument("--seed", type=int, default=42)
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = in-process; N>1 = spawn pool with "
+        "shared-memory dataset publication)",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     info = sub.add_parser("info", help="version and defaults", parents=[common])
     info.set_defaults(func=_cmd_info)

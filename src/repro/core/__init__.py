@@ -29,6 +29,12 @@ from repro.core.search import (
     drive_pending,
 )
 from repro.core.batch import BatchEntry, BatchResult, run_batch
+from repro.core.counting import prune_unpicked
+from repro.core.parallel import (
+    SharedDatasetHandle,
+    WorkerCrashError,
+    run_parallel_batch,
+)
 from repro.core.refinement import (
     RefinedSearch,
     RefinementStep,
@@ -89,6 +95,10 @@ __all__ = [
     "BatchEntry",
     "BatchResult",
     "run_batch",
+    "run_parallel_batch",
+    "SharedDatasetHandle",
+    "WorkerCrashError",
+    "prune_unpicked",
     "RefinedSearch",
     "RefinementStep",
     "moved_query",

@@ -32,6 +32,7 @@ from repro.core.engine import DatasetPrecomputation, SearchEngine, ViewRequest
 from repro.core.search import InteractiveNNSearch, SearchResult
 from repro.exceptions import ConfigurationError
 from repro.interaction.base import UserAgent, validate_decision
+from repro.interaction.factories import UserFactoryLike, build_user
 from repro.obs.logging import get_logger
 from repro.obs.metrics import counter
 from repro.obs.trace import span
@@ -161,9 +162,10 @@ def _finalize_entry(
 def run_batch(
     search: InteractiveNNSearch,
     query_indices: np.ndarray,
-    user_factory: UserFactory,
+    user_factory: UserFactoryLike,
     *,
     max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    workers: int = 1,
 ) -> BatchResult:
     """Run the interactive search for every query index.
 
@@ -174,8 +176,10 @@ def run_batch(
     query_indices:
         Dataset indices of the query points.
     user_factory:
-        ``factory(query_index) -> UserAgent`` building a fresh user per
-        query.
+        Either a classic ``factory(query_index) -> UserAgent`` callable
+        or a :class:`~repro.interaction.factories.DatasetUserFactory`
+        (required for ``workers > 1``, where the factory must be
+        picklable and receives the worker-side dataset).
     max_in_flight:
         Maximum number of suspended engines alive at once.  ``1``
         degenerates to the classic sequential loop; higher values
@@ -183,6 +187,13 @@ def run_batch(
         Results are identical for every value — engines are isolated —
         so the knob trades peak memory against scheduling granularity
         (e.g. amortizing a remote user's round-trip latency).
+        Ignored when ``workers > 1``.
+    workers:
+        Number of worker processes.  ``1`` (default) runs in-process;
+        ``N > 1`` fans the batch out over a spawn-safe process pool via
+        :func:`repro.core.parallel.run_parallel_batch`, sharing the
+        point matrix and dataset statistics across workers.  Results
+        are byte-identical for every value.
 
     Returns
     -------
@@ -195,6 +206,8 @@ def run_batch(
         raise ConfigurationError("query_indices must be non-empty")
     if max_in_flight < 1:
         raise ConfigurationError("max_in_flight must be at least 1")
+    if workers < 1:
+        raise ConfigurationError("workers must be at least 1")
     dataset = search.dataset
     for query_index in indices.tolist():
         if not 0 <= query_index < dataset.size:
@@ -202,6 +215,16 @@ def run_batch(
                 f"query index {query_index} out of range for {dataset.size}"
             )
     _BATCHES.inc()
+    if workers > 1:
+        from repro.core.parallel import run_parallel_batch  # deferred: cycle
+
+        return run_parallel_batch(
+            dataset,
+            search.config,
+            indices,
+            user_factory,
+            workers=workers,
+        )
     shared = DatasetPrecomputation(dataset)
     entries: list[BatchEntry | None] = [None] * indices.size
     pending = list(enumerate(indices.tolist()))  # (position, query_index)
@@ -220,7 +243,7 @@ def run_batch(
                 precomputed=shared,
                 structural_spans=False,
             )
-            user = user_factory(query_index)
+            user = build_user(user_factory, dataset, query_index)
             with span("batch.start", query=query_index):
                 event = engine.start(dataset.points[query_index])
             if isinstance(event, ViewRequest):

@@ -111,3 +111,41 @@ class PreferenceCounter:
         """Original indices among *live_indices* never picked this iteration."""
         idx = np.asarray(live_indices, dtype=int)
         return idx[self._counts[idx] == 0]
+
+
+#: Pruning requires at least this many accepted views — condemning a
+#: point on one view's evidence is statistically unjustified (see
+#: :func:`prune_unpicked`).
+MIN_ACCEPTED_VIEWS_TO_PRUNE = 2
+
+
+def prune_unpicked(
+    live: np.ndarray, preferences: PreferenceCounter
+) -> np.ndarray:
+    """Drop never-picked points (Fig. 2), unless that empties the set.
+
+    The survivors are **exactly** the live points with a non-zero
+    preference count this iteration — pruning removes zero-count ids
+    and nothing else (property-tested in
+    ``tests/core/test_counting_properties.py``).  Two guards keep the
+    live set from collapsing:
+
+    * when the user rejects every view there is no preference signal at
+      all, so nothing is pruned (the meaningfulness probabilities
+      already reflect the absence of signal);
+    * pruning requires at least :data:`MIN_ACCEPTED_VIEWS_TO_PRUNE`
+      accepted views — condemning a point on a single view's evidence
+      can permanently lose cluster members that one view's separator
+      happened to miss;
+    * if pruning would delete every live point, the set is kept
+      unchanged.
+    """
+    live = np.asarray(live, dtype=int)
+    accepted_views = sum(1 for size in preferences.pick_sizes if size > 0)
+    if accepted_views < MIN_ACCEPTED_VIEWS_TO_PRUNE:
+        return live
+    counts = preferences.counts_for(live)
+    survivors = live[counts > 0]
+    if survivors.size == 0:
+        return live
+    return survivors

@@ -44,7 +44,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.config import SearchConfig
-from repro.core.counting import PreferenceCounter
+from repro.core.counting import PreferenceCounter, prune_unpicked
 from repro.core.meaningfulness import (
     MeaningfulnessAccumulator,
     iteration_statistics,
@@ -296,6 +296,47 @@ class DatasetPrecomputation:
 
             self._covariance = covariance_matrix(self._full_points)
         return self._covariance
+
+    # ------------------------------------------------------------------
+    # Cross-process transfer (see repro.core.parallel)
+    # ------------------------------------------------------------------
+    def export_state(self, *, compute: bool = False) -> dict[str, Any]:
+        """Snapshot of the derived (lazily cached) statistics.
+
+        The process-parallel batch executor derives covariance and
+        per-attribute variance **once** in the parent and ships the
+        result to every worker (pickled once per worker alongside the
+        :class:`~multiprocessing.shared_memory.SharedMemory`-backed
+        point array), so no worker re-derives per-dataset statistics.
+
+        Parameters
+        ----------
+        compute:
+            Force-materialize the lazy statistics before exporting
+            (otherwise only already-computed values are included).
+        """
+        if compute:
+            self.axis_variance()
+            self.covariance()
+        return {
+            "axis_variance": self._axis_variance,
+            "covariance": self._covariance,
+        }
+
+    def install_state(self, state: dict[str, Any]) -> None:
+        """Install statistics exported by :meth:`export_state`.
+
+        Installed arrays are bit-identical to what this instance would
+        have computed itself (both sides derive them from the same point
+        bytes with the same reductions), so installation never changes
+        downstream results — it only skips the re-derivation.
+        """
+        variance = state.get("axis_variance")
+        if variance is not None:
+            self._axis_variance = np.asarray(variance, dtype=float)
+        covariance = state.get("covariance")
+        if covariance is not None:
+            self._covariance = np.asarray(covariance, dtype=float)
 
 
 class SearchEngine:
@@ -707,25 +748,13 @@ class SearchEngine:
     def _prune(self, live: np.ndarray, preferences: PreferenceCounter) -> np.ndarray:
         """Drop never-picked points (Fig. 2), unless that empties the set.
 
-        When the user rejects every view of an iteration there is no
-        preference signal at all; pruning would delete the entire data
-        set, so the live set is kept unchanged in that case (the
-        meaningfulness probabilities already reflect the absence of
-        signal).  Pruning also requires at least two accepted views —
-        condemning a point on a single view's evidence is statistically
-        unjustified and can permanently lose cluster members that one
-        view's separator happened to miss.
+        The policy lives in :func:`repro.core.counting.prune_unpicked`
+        (shared with the property-test suite); this wrapper only applies
+        the ``remove_unpicked`` configuration switch.
         """
         if not self._config.remove_unpicked:
             return live
-        accepted_views = sum(1 for size in preferences.pick_sizes if size > 0)
-        if accepted_views < 2:
-            return live
-        counts = preferences.counts_for(live)
-        survivors = live[counts > 0]
-        if survivors.size == 0:
-            return live
-        return survivors
+        return prune_unpicked(live, preferences)
 
     # ------------------------------------------------------------------
     # Resume support (used by repro.core.serialization)

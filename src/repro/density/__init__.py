@@ -7,11 +7,20 @@ from repro.density.bandwidth import (
     scott_bandwidth,
     silverman_bandwidth,
 )
+from repro.density.cache import (
+    DensityGridCache,
+    disabled_density_cache,
+    get_density_cache,
+    set_density_cache,
+)
 from repro.density.connectivity import (
     MIN_CORNERS_ABOVE,
     ConnectedRegion,
+    component_labels,
     connected_region,
+    count_components,
     density_connected_points,
+    flood_fill_mask,
     points_in_region,
     region_count_at,
 )
@@ -47,11 +56,18 @@ __all__ = [
     "KernelDensityEstimator",
     "DensityGrid",
     "GridBounds",
+    "DensityGridCache",
+    "get_density_cache",
+    "set_density_cache",
+    "disabled_density_cache",
     "ConnectedRegion",
     "connected_region",
     "points_in_region",
     "density_connected_points",
     "region_count_at",
+    "count_components",
+    "component_labels",
+    "flood_fill_mask",
     "MIN_CORNERS_ABOVE",
     "ExactRegion",
     "exact_density_connected",

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.density.grid import DensityGrid
-from repro.exceptions import DimensionalityError
+from repro.exceptions import ConfigurationError, DimensionalityError
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, counter, histogram
 from repro.obs.trace import span
 
@@ -30,6 +30,85 @@ _FLOOD_FILLS = counter("connectivity.flood_fills")
 _FLOOD_FILL_CELLS = histogram(
     "connectivity.flood_fill.cells", buckets=DEFAULT_SIZE_BUCKETS
 )
+
+
+def flood_fill_mask(
+    qualifies: np.ndarray, start: tuple[int, int]
+) -> np.ndarray:
+    """Boolean mask of cells 4-connected to *start* within *qualifies*.
+
+    The breadth-first flood fill extracted from :func:`connected_region`
+    so it can be property-tested in isolation (and reused by the
+    region-counting fallback).  When ``qualifies[start]`` is False the
+    returned mask is all-False — the seed itself sits in noise.
+    """
+    q = np.asarray(qualifies, dtype=bool)
+    mask = np.zeros_like(q, dtype=bool)
+    if not q[start]:
+        return mask
+    rows, cols = q.shape
+    queue: deque[tuple[int, int]] = deque([start])
+    mask[start] = True
+    while queue:
+        i, j = queue.popleft()
+        for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if 0 <= ni < rows and 0 <= nj < cols:
+                if q[ni, nj] and not mask[ni, nj]:
+                    mask[ni, nj] = True
+                    queue.append((ni, nj))
+    return mask
+
+
+def component_labels(qualifies: np.ndarray) -> np.ndarray:
+    """4-connected component labels of a boolean cell grid, vectorized.
+
+    Returns an integer array of the same shape: ``-1`` for
+    non-qualifying cells; qualifying cells carry the *flat index of the
+    smallest-indexed cell of their component* (a canonical root id).
+    Cells share a label exactly when they are 4-connected through
+    qualifying cells.
+
+    The algorithm is classic label propagation with pointer jumping:
+    neighbor-edge minima are built with whole-array numpy slicing (no
+    per-cell Python loop) and label chains are compressed by repeated
+    ``table[table]`` doubling, so each sweep is ``O(p^2)`` vectorized
+    work and the sweep count is logarithmic in the component diameter
+    for all but adversarial shapes.
+    """
+    q = np.asarray(qualifies, dtype=bool)
+    if q.ndim != 2:
+        raise DimensionalityError("qualifies must be a 2-D boolean grid")
+    rows, cols = q.shape
+    size = rows * cols
+    sentinel = size  # "no label": larger than every real flat index
+    labels = np.where(q, np.arange(size).reshape(rows, cols), sentinel)
+    while True:
+        # Vectorized neighbor-edge minima: each cell takes the minimum
+        # label among itself and its 4 in-grid neighbors (non-qualifying
+        # neighbors hold the sentinel and never win).
+        up = np.full_like(labels, sentinel)
+        up[1:, :] = labels[:-1, :]
+        down = np.full_like(labels, sentinel)
+        down[:-1, :] = labels[1:, :]
+        left = np.full_like(labels, sentinel)
+        left[:, 1:] = labels[:, :-1]
+        right = np.full_like(labels, sentinel)
+        right[:, :-1] = labels[:, 1:]
+        new = np.minimum.reduce([labels, up, down, left, right])
+        new = np.where(q, new, sentinel)
+        # Pointer jumping: map every label to the label of the cell it
+        # names, doubling the compression depth each pass.
+        table = np.append(new.ravel(), sentinel)
+        while True:
+            jumped = table[table]
+            if np.array_equal(jumped, table):
+                break
+            table = jumped
+        new = table[:-1].reshape(rows, cols)
+        if np.array_equal(new, labels):
+            break
+        labels = new
+    return np.where(q, labels, -1)
 
 
 @dataclass(frozen=True)
@@ -94,24 +173,16 @@ def connected_region(
     with span("connectivity.flood_fill", threshold=float(threshold)) as fill_span:
         qualifies = grid.corners_above(threshold) >= MIN_CORNERS_ABOVE
         start = grid.cell_of(q)
-        mask = np.zeros_like(qualifies, dtype=bool)
         if not qualifies[start]:
             _FLOOD_FILL_CELLS.observe(0)
             fill_span.set(cells=0, seeded=False)
             return ConnectedRegion(
-                mask=mask, threshold=threshold, query_cell=start, seeded=False
+                mask=np.zeros_like(qualifies, dtype=bool),
+                threshold=threshold,
+                query_cell=start,
+                seeded=False,
             )
-        # BFS flood fill over 4-adjacent qualifying rectangles.
-        rows, cols = qualifies.shape
-        queue: deque[tuple[int, int]] = deque([start])
-        mask[start] = True
-        while queue:
-            i, j = queue.popleft()
-            for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
-                if 0 <= ni < rows and 0 <= nj < cols:
-                    if qualifies[ni, nj] and not mask[ni, nj]:
-                        mask[ni, nj] = True
-                        queue.append((ni, nj))
+        mask = flood_fill_mask(qualifies, start)
         cells = int(mask.sum())
         _FLOOD_FILL_CELLS.observe(cells)
         fill_span.set(cells=cells, seeded=True)
@@ -149,28 +220,48 @@ def density_connected_points(
     return np.flatnonzero(member)
 
 
-def region_count_at(grid: DensityGrid, threshold: float) -> int:
+def count_components(qualifies: np.ndarray, *, method: str = "vectorized") -> int:
+    """Number of 4-connected components in a boolean cell grid.
+
+    Parameters
+    ----------
+    qualifies:
+        ``(rows, cols)`` boolean grid of qualifying cells.
+    method:
+        ``"vectorized"`` (default) counts roots of
+        :func:`component_labels`; ``"bfs"`` is the pre-vectorization
+        cell-by-cell flood-fill sweep, kept as the reference
+        implementation (``tests/density/test_connectivity_properties.py``
+        compares the two on random grids).
+    """
+    q = np.asarray(qualifies, dtype=bool)
+    if method == "vectorized":
+        labels = component_labels(q)
+        return int(np.unique(labels[q]).size) if q.any() else 0
+    if method != "bfs":
+        raise ConfigurationError(f"unknown component-count method {method!r}")
+    seen = np.zeros_like(q, dtype=bool)
+    rows, cols = q.shape
+    regions = 0
+    for si in range(rows):
+        for sj in range(cols):
+            if q[si, sj] and not seen[si, sj]:
+                regions += 1
+                seen |= flood_fill_mask(q, (si, sj))
+    return regions
+
+
+def region_count_at(
+    grid: DensityGrid, threshold: float, *, method: str = "vectorized"
+) -> int:
     """Number of distinct connected regions at *threshold*.
 
     Used by diagnostics and the heuristic user: a well-clustered
     projection shows a few crisp regions; noise shows either one blob
-    (low tau) or many specks (high tau).
+    (low tau) or many specks (high tau).  The count is computed by the
+    vectorized labeling of :func:`component_labels`; pass
+    ``method="bfs"`` for the pre-vectorization reference sweep (both
+    always agree — see the comparison property test).
     """
     qualifies = grid.corners_above(threshold) >= MIN_CORNERS_ABOVE
-    seen = np.zeros_like(qualifies, dtype=bool)
-    rows, cols = qualifies.shape
-    regions = 0
-    for si in range(rows):
-        for sj in range(cols):
-            if qualifies[si, sj] and not seen[si, sj]:
-                regions += 1
-                queue: deque[tuple[int, int]] = deque([(si, sj)])
-                seen[si, sj] = True
-                while queue:
-                    i, j = queue.popleft()
-                    for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
-                        if 0 <= ni < rows and 0 <= nj < cols:
-                            if qualifies[ni, nj] and not seen[ni, nj]:
-                                seen[ni, nj] = True
-                                queue.append((ni, nj))
-    return regions
+    return count_components(qualifies, method=method)

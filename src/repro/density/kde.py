@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.density.bandwidth import silverman_bandwidth
+from repro.density.cache import get_density_cache
 from repro.density.kernels import KernelFn, gaussian_kernel
 from repro.exceptions import ConfigurationError, DimensionalityError, EmptyDatasetError
 from repro.obs.trace import span
@@ -127,11 +128,27 @@ class KernelDensityEstimator:
         factorization (density contribution splits into per-axis
         factors), which turns an ``O(p^2 n)`` evaluation into
         ``O(p n)`` work plus a ``(p, n) @ (n, p)`` product.
+
+        Evaluations with the default Gaussian kernel consult the
+        process-wide :class:`~repro.density.cache.DensityGridCache`:
+        when the (points, bandwidth, axes) triple was already evaluated
+        this process, the byte-identical cached grid is returned and
+        the arithmetic is skipped entirely (``kde.cache.hit``).  Custom
+        kernels bypass the cache — callables carry no stable content
+        fingerprint.
         """
         if self.dim != 2:
             raise DimensionalityError("grid evaluation requires a 2-D estimator")
         gx = np.asarray(grid_x, dtype=float)
         gy = np.asarray(grid_y, dtype=float)
+        cache = key = None
+        if self._kernel is gaussian_kernel:
+            cache = get_density_cache()
+            if cache is not None:
+                key = cache.key_for(self._points, self._bandwidth, gx, gy)
+                cached = cache.fetch(key)
+                if cached is not None:
+                    return cached
         hx, hy = self._bandwidth
         n = self._points.shape[0]
         ux = (gx[:, np.newaxis] - self._points[np.newaxis, :, 0]) / hx  # (px, n)
@@ -139,7 +156,10 @@ class KernelDensityEstimator:
         kx = self._kernel(ux[..., np.newaxis])  # (px, n)
         ky = self._kernel(uy[..., np.newaxis])  # (py, n)
         norm = 1.0 / (n * hx * hy)
-        return (kx @ ky.T) * norm
+        density = (kx @ ky.T) * norm
+        if key is not None:
+            cache.put(key, density)
+        return density
 
     def sample_lateral(
         self,

@@ -8,6 +8,13 @@ from repro.interaction.base import (
     validate_decision,
 )
 from repro.interaction.driver import AsyncUserDriver
+from repro.interaction.factories import (
+    DatasetUserFactory,
+    HeuristicFactory,
+    OracleFactory,
+    RejectAllFactory,
+    build_user,
+)
 from repro.interaction.heuristic import HeuristicUser
 from repro.interaction.oracle import OracleUser, f1_score, fbeta_score
 from repro.interaction.scripted import (
@@ -25,6 +32,11 @@ __all__ = [
     "ThresholdSweep",
     "validate_decision",
     "AsyncUserDriver",
+    "DatasetUserFactory",
+    "OracleFactory",
+    "HeuristicFactory",
+    "RejectAllFactory",
+    "build_user",
     "OracleUser",
     "f1_score",
     "fbeta_score",

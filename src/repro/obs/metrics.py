@@ -38,6 +38,8 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "counter_values",
+    "merge_counter_deltas",
     "DEFAULT_SECONDS_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
 ]
@@ -367,3 +369,31 @@ def gauge(name: str) -> Gauge:
 def histogram(name: str, buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS) -> Histogram:
     """Get or create a histogram on the default registry."""
     return REGISTRY.histogram(name, buckets)
+
+
+def counter_values() -> dict[str, float]:
+    """Current values of every counter on the default registry.
+
+    Used by the process-parallel batch executor: workers diff this
+    snapshot around each task and ship the per-task deltas back, so the
+    parent's registry reflects work done in every worker process.
+    """
+    return {
+        name: instrument.value
+        for name, instrument in [
+            (n, REGISTRY.get(n)) for n in REGISTRY.names()
+        ]
+        if isinstance(instrument, Counter)
+    }
+
+
+def merge_counter_deltas(deltas: dict[str, float]) -> None:
+    """Fold worker-side counter increments into the default registry.
+
+    Only strictly positive deltas are applied (counters are monotone);
+    unknown names are created on demand, matching the get-or-create
+    semantics of :func:`counter`.
+    """
+    for name, amount in deltas.items():
+        if amount > 0:
+            REGISTRY.counter(name).inc(amount)

@@ -1,0 +1,137 @@
+"""Property-based tests for preference counting and pruning (hypothesis).
+
+Invariants from the paper's Fig. 2/Fig. 7 bookkeeping:
+
+* ``v(i)`` never decreases as projections are folded in;
+* ``unpicked`` is exactly the zero-count subset of the live ids;
+* :func:`prune_unpicked` removes exactly the zero-count ids — and only
+  under its statistical guards (≥2 accepted views, never empties the
+  live set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting import (
+    MIN_ACCEPTED_VIEWS_TO_PRUNE,
+    PreferenceCounter,
+    prune_unpicked,
+)
+
+
+@st.composite
+def selection_histories(draw):
+    """A counter-sized universe plus a sequence of (live, mask, weight)."""
+    n_points = draw(st.integers(min_value=1, max_value=60))
+    n_views = draw(st.integers(min_value=0, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    views = []
+    for _ in range(n_views):
+        live_size = int(rng.integers(1, n_points + 1))
+        live = rng.choice(n_points, size=live_size, replace=False)
+        mask = rng.random(live_size) < rng.random()
+        weight = float(rng.uniform(0.1, 3.0))
+        views.append((live, mask, weight))
+    return n_points, views
+
+
+@given(selection_histories())
+@settings(max_examples=80, deadline=None)
+def test_counts_monotone_nondecreasing(history):
+    """Folding in another projection never lowers any v(i)."""
+    n_points, views = history
+    counter = PreferenceCounter(n_points)
+    previous = counter.counts
+    for live, mask, weight in views:
+        counter.record(live, mask, weight=weight)
+        current = counter.counts
+        assert np.all(current >= previous - 1e-12)
+        previous = current
+    assert counter.projections_recorded == len(views)
+
+
+@given(selection_histories())
+@settings(max_examples=80, deadline=None)
+def test_unpicked_is_exactly_the_zero_count_subset(history):
+    """``unpicked(live)`` ≡ {i ∈ live : v(i) == 0}, order preserved."""
+    n_points, views = history
+    counter = PreferenceCounter(n_points)
+    for live, mask, weight in views:
+        counter.record(live, mask, weight=weight)
+    universe = np.arange(n_points)
+    unpicked = counter.unpicked(universe)
+    zero = universe[counter.counts == 0]
+    assert np.array_equal(unpicked, zero)
+    # And counts_for alignment: every unpicked id reads back 0.
+    assert np.all(counter.counts_for(unpicked) == 0)
+
+
+@given(selection_histories())
+@settings(max_examples=80, deadline=None)
+def test_prune_removes_exactly_zero_count_ids(history):
+    """Survivors = live ∩ {v > 0}, modulo the two collapse guards."""
+    n_points, views = history
+    counter = PreferenceCounter(n_points)
+    for live, mask, weight in views:
+        counter.record(live, mask, weight=weight)
+    live = np.arange(n_points)
+    pruned = prune_unpicked(live, counter)
+    accepted = sum(1 for s in counter.pick_sizes if s > 0)
+    positive = live[counter.counts_for(live) > 0]
+    if accepted < MIN_ACCEPTED_VIEWS_TO_PRUNE or positive.size == 0:
+        # Guarded: nothing may be pruned.
+        assert np.array_equal(pruned, live)
+    else:
+        assert np.array_equal(pruned, positive)
+        # Exactness both ways: no zero-count survivor, no positive loss.
+        assert np.all(counter.counts_for(pruned) > 0)
+        assert np.all(np.isin(positive, pruned))
+
+
+@given(selection_histories())
+@settings(max_examples=50, deadline=None)
+def test_prune_is_idempotent(history):
+    """Pruning a pruned set changes nothing (counts are fixed)."""
+    n_points, views = history
+    counter = PreferenceCounter(n_points)
+    for live, mask, weight in views:
+        counter.record(live, mask, weight=weight)
+    once = prune_unpicked(np.arange(n_points), counter)
+    twice = prune_unpicked(once, counter)
+    assert np.array_equal(once, twice)
+
+
+def test_prune_guard_single_accepted_view():
+    """One accepted view is not enough evidence to prune."""
+    counter = PreferenceCounter(6)
+    counter.record(np.arange(6), np.array([1, 1, 0, 0, 0, 0], dtype=bool))
+    live = np.arange(6)
+    assert np.array_equal(prune_unpicked(live, counter), live)
+    # A second accepted view unlocks the prune.
+    counter.record(np.arange(6), np.array([1, 0, 1, 0, 0, 0], dtype=bool))
+    assert np.array_equal(prune_unpicked(live, counter), np.array([0, 1, 2]))
+
+
+def test_prune_guard_all_rejected_views():
+    """With zero accepted views there is no signal — nothing is pruned."""
+    counter = PreferenceCounter(5)
+    nothing = np.zeros(5, dtype=bool)
+    counter.record(np.arange(5), nothing)
+    counter.record(np.arange(5), nothing)
+    counter.record(np.arange(5), nothing)
+    live = np.array([1, 3, 4])
+    assert np.array_equal(prune_unpicked(live, counter), live)
+
+
+def test_prune_guard_never_empties_live_set():
+    """When every live point has zero count, pruning is a no-op."""
+    counter = PreferenceCounter(5)
+    picks = np.array([1, 1, 0, 0, 0], dtype=bool)
+    counter.record(np.arange(5), picks)
+    counter.record(np.arange(5), picks)  # two accepted views: guard off
+    live = np.array([3, 4])  # none of these were ever picked
+    assert np.array_equal(prune_unpicked(live, counter), live)

@@ -1,0 +1,151 @@
+"""Unit tests for the bounded LRU density-grid cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.density.cache import (
+    DensityGridCache,
+    disabled_density_cache,
+    fingerprint_arrays,
+    get_density_cache,
+    set_density_cache,
+)
+from repro.density.kde import KernelDensityEstimator
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def fresh_cache():
+    """Install a fresh process-global cache; restore the lazy default."""
+    cache = DensityGridCache(max_entries=16)
+    set_density_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_density_cache(DensityGridCache())
+
+
+def _key(i: int) -> bytes:
+    return fingerprint_arrays(np.array([i]))
+
+
+def test_fingerprint_distinguishes_shape_and_dtype():
+    flat = np.arange(8, dtype=np.float64)
+    assert fingerprint_arrays(flat) != fingerprint_arrays(flat.reshape(4, 2))
+    assert fingerprint_arrays(flat) != fingerprint_arrays(
+        flat.astype(np.float32)
+    )
+    assert fingerprint_arrays(flat) == fingerprint_arrays(flat.copy())
+
+
+def test_fingerprint_handles_non_contiguous_views():
+    base = np.arange(16, dtype=float).reshape(4, 4)
+    strided = base[:, ::2]
+    assert fingerprint_arrays(strided) == fingerprint_arrays(
+        np.ascontiguousarray(strided)
+    )
+
+
+def test_lru_bound_and_eviction_order():
+    cache = DensityGridCache(max_entries=3)
+    for i in range(3):
+        cache.put(_key(i), np.full((2, 2), float(i)))
+    assert len(cache) == 3
+    # Touch key 0 so it becomes most recently used.
+    assert cache.fetch(_key(0)) is not None
+    cache.put(_key(3), np.full((2, 2), 3.0))
+    assert len(cache) == 3
+    assert cache.fetch(_key(1)) is None  # the true LRU was evicted
+    assert cache.fetch(_key(0)) is not None
+    assert cache.evictions == 1
+
+
+def test_hit_miss_accounting_and_stats():
+    cache = DensityGridCache(max_entries=4)
+    assert cache.fetch(_key(1)) is None
+    cache.put(_key(1), np.ones((2, 2)))
+    assert cache.fetch(_key(1)) is not None
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["entries"] == 1
+
+
+def test_fetch_returns_independent_copy():
+    cache = DensityGridCache()
+    cache.put(_key(7), np.zeros((3, 3)))
+    first = cache.fetch(_key(7))
+    first[:] = 99.0  # mutating the returned array must not poison the cache
+    second = cache.fetch(_key(7))
+    assert np.array_equal(second, np.zeros((3, 3)))
+
+
+def test_oversized_entries_are_not_stored():
+    cache = DensityGridCache(max_entries=4, max_entry_bytes=64)
+    cache.put(_key(1), np.zeros((100, 100)))  # 80 KB >> 64 B
+    assert len(cache) == 0
+    cache.put(_key(2), np.zeros((2, 2)))  # 32 B fits
+    assert len(cache) == 1
+
+
+def test_clear_keeps_statistics():
+    cache = DensityGridCache()
+    cache.put(_key(1), np.ones((2, 2)))
+    cache.fetch(_key(1))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ConfigurationError):
+        DensityGridCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# Integration with the KDE grid evaluation
+# ----------------------------------------------------------------------
+def test_grid_evaluation_hits_cache_and_is_byte_identical(fresh_cache, rng):
+    points = rng.normal(size=(80, 2))
+    kde = KernelDensityEstimator(points)
+    gx = np.linspace(-2, 2, 25)
+    gy = np.linspace(-2, 2, 25)
+    with disabled_density_cache():
+        cold = kde.evaluate_on_grid(gx, gy)
+    first = kde.evaluate_on_grid(gx, gy)   # miss: computes and stores
+    second = kde.evaluate_on_grid(gx, gy)  # hit: served from cache
+    assert fresh_cache.hits >= 1
+    assert first.tobytes() == cold.tobytes()
+    assert second.tobytes() == cold.tobytes()
+
+
+def test_distinct_inputs_never_collide(fresh_cache, rng):
+    points = rng.normal(size=(50, 2))
+    kde = KernelDensityEstimator(points)
+    gx = np.linspace(-1, 1, 10)
+    a = kde.evaluate_on_grid(gx, gx)
+    b = kde.evaluate_on_grid(gx + 0.1, gx)
+    assert a.shape == b.shape
+    assert a.tobytes() != b.tobytes()
+
+
+def test_non_gaussian_kernels_bypass_the_cache(fresh_cache, rng):
+    from repro.density.kernels import epanechnikov_kernel
+
+    points = rng.normal(size=(40, 2))
+    kde = KernelDensityEstimator(points, kernel=epanechnikov_kernel)
+    gx = np.linspace(-1, 1, 8)
+    kde.evaluate_on_grid(gx, gx)
+    kde.evaluate_on_grid(gx, gx)
+    assert fresh_cache.hits == 0
+    assert len(fresh_cache) == 0
+
+
+def test_disabled_density_cache_round_trip(fresh_cache):
+    assert get_density_cache() is fresh_cache
+    with disabled_density_cache():
+        assert get_density_cache() is None
+    assert get_density_cache() is fresh_cache

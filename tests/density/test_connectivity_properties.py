@@ -1,0 +1,201 @@
+"""Property-based tests for grid connectivity (hypothesis).
+
+Covers the flood fill's structural invariants (transposition symmetry,
+seed membership, threshold monotonicity) and pins the vectorized
+component labeling of :func:`repro.density.connectivity.component_labels`
+to the pre-vectorization BFS reference sweep on random grids *and* on
+real density-grid corner tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.density.connectivity import (
+    MIN_CORNERS_ABOVE,
+    component_labels,
+    connected_region,
+    count_components,
+    flood_fill_mask,
+    region_count_at,
+)
+from repro.density.grid import DensityGrid
+from repro.exceptions import ConfigurationError
+
+
+@st.composite
+def boolean_grids(draw):
+    """Random boolean grids of varied shape and fill fraction."""
+    rows = draw(st.integers(min_value=1, max_value=14))
+    cols = draw(st.integers(min_value=1, max_value=14))
+    fill = draw(st.floats(min_value=0.0, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, cols)) < fill
+
+
+@st.composite
+def grids_with_seed_cell(draw):
+    """A random boolean grid plus a cell index inside it."""
+    q = draw(boolean_grids())
+    i = draw(st.integers(min_value=0, max_value=q.shape[0] - 1))
+    j = draw(st.integers(min_value=0, max_value=q.shape[1] - 1))
+    return q, (i, j)
+
+
+@st.composite
+def point_clouds(draw):
+    """Small random 2-D point clouds (for real DensityGrid cases)."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=10, max_value=60))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(n, 2))
+
+
+# ----------------------------------------------------------------------
+# flood_fill_mask invariants
+# ----------------------------------------------------------------------
+@given(grids_with_seed_cell())
+@settings(max_examples=60, deadline=None)
+def test_flood_fill_transposition_invariance(case):
+    """Filling the transposed grid from the swapped seed transposes."""
+    q, (i, j) = case
+    direct = flood_fill_mask(q, (i, j))
+    transposed = flood_fill_mask(q.T, (j, i))
+    assert np.array_equal(transposed, direct.T)
+
+
+@given(grids_with_seed_cell())
+@settings(max_examples=60, deadline=None)
+def test_flood_fill_seed_membership(case):
+    """The seed is in its own region iff it qualifies; mask ⊆ qualifies."""
+    q, cell = case
+    mask = flood_fill_mask(q, cell)
+    assert mask[cell] == q[cell]
+    if not q[cell]:
+        assert not mask.any()
+    # The fill never escapes the qualifying set.
+    assert not np.any(mask & ~q)
+
+
+@given(grids_with_seed_cell())
+@settings(max_examples=60, deadline=None)
+def test_flood_fill_idempotent_on_own_region(case):
+    """Re-filling from any member cell reproduces the same region."""
+    q, cell = case
+    mask = flood_fill_mask(q, cell)
+    members = np.argwhere(mask)
+    if members.size == 0:
+        return
+    other = tuple(int(v) for v in members[len(members) // 2])
+    assert np.array_equal(flood_fill_mask(q, other), mask)
+
+
+@given(grids_with_seed_cell(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_flood_fill_monotone_in_threshold(case, keep):
+    """Shrinking the qualifying set never grows the region (τ monotone).
+
+    ``qualifies`` at a higher noise threshold is always a subset of the
+    lower-threshold set; the region from the same seed must shrink with
+    it.  We model the τ sweep directly as a nested pair of masks.
+    """
+    q_lo, cell = case
+    rng = np.random.default_rng(int(keep * 10_000))
+    q_hi = q_lo & (rng.random(q_lo.shape) < keep)  # nested: q_hi ⊆ q_lo
+    q_hi[cell] = q_lo[cell]  # keep the seed's own status comparable
+    mask_hi = flood_fill_mask(q_hi, cell)
+    mask_lo = flood_fill_mask(q_lo, cell)
+    assert np.all(mask_lo[mask_hi])
+
+
+@given(point_clouds(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=25, deadline=None)
+def test_region_monotone_in_tau_on_real_grids(points, frac):
+    """On a real density grid, R(τ_hi, Q) ⊆ R(τ_lo, Q)."""
+    grid = DensityGrid(points, resolution=12)
+    query = points[0]
+    peak = float(grid.density.max())
+    lo = connected_region(grid, query, 0.4 * frac * peak)
+    hi = connected_region(grid, query, frac * peak)
+    assert np.all(lo.mask[hi.mask])
+
+
+# ----------------------------------------------------------------------
+# component_labels vs the BFS reference
+# ----------------------------------------------------------------------
+@given(boolean_grids())
+@settings(max_examples=60, deadline=None)
+def test_component_labels_match_flood_fill_partition(q):
+    """Each label class is exactly one flood-fill region."""
+    labels = component_labels(q)
+    assert labels.shape == q.shape
+    assert np.all((labels == -1) == ~q)
+    seen = np.zeros_like(q, dtype=bool)
+    for i, j in np.argwhere(q & ~seen):
+        if seen[i, j]:
+            continue
+        region = flood_fill_mask(q, (int(i), int(j)))
+        seen |= region
+        # All member cells share one label, and nothing else has it.
+        label = labels[i, j]
+        assert np.all((labels == label) == region)
+
+
+@given(boolean_grids())
+@settings(max_examples=80, deadline=None)
+def test_count_components_vectorized_equals_bfs(q):
+    """The vectorized count agrees with the reference sweep everywhere."""
+    assert count_components(q, method="vectorized") == count_components(
+        q, method="bfs"
+    )
+
+
+@given(point_clouds(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=20, deadline=None)
+def test_region_count_methods_agree_on_real_grids(points, frac):
+    """Both region counters agree on genuine corner-test grids."""
+    grid = DensityGrid(points, resolution=12)
+    tau = frac * float(grid.density.max())
+    assert region_count_at(grid, tau, method="vectorized") == region_count_at(
+        grid, tau, method="bfs"
+    )
+
+
+def test_component_labels_canonical_roots():
+    """Labels are the smallest flat index of their component."""
+    q = np.array(
+        [
+            [1, 1, 0, 1],
+            [0, 1, 0, 1],
+            [1, 0, 0, 0],
+            [1, 1, 1, 1],
+        ],
+        dtype=bool,
+    )
+    labels = component_labels(q)
+    assert labels[0, 0] == 0 and labels[1, 1] == 0  # top-left blob
+    assert labels[0, 3] == 3 and labels[1, 3] == 3  # right column
+    assert labels[2, 0] == 8  # bottom component rooted at flat id 8
+    assert labels[3, 3] == 8  # connected along the bottom row
+    assert count_components(q) == 3
+
+
+def test_count_components_rejects_unknown_method():
+    with pytest.raises(ConfigurationError):
+        count_components(np.ones((2, 2), dtype=bool), method="magic")
+
+
+def test_corner_test_qualifying_grid_roundtrip(blob_2d):
+    """End-to-end: corner-test grids feed both counters identically."""
+    points, _ = blob_2d
+    grid = DensityGrid(points, resolution=20)
+    for frac in (0.0, 0.1, 0.3, 0.7):
+        tau = frac * float(grid.density.max())
+        qualifies = grid.corners_above(tau) >= MIN_CORNERS_ABOVE
+        assert count_components(qualifies) == count_components(
+            qualifies, method="bfs"
+        )
