@@ -39,6 +39,7 @@ from repro.interaction.factories import OracleFactory
 from repro.obs.metrics import REGISTRY
 
 from bench_utils import RESULTS_DIR, format_table, report
+from regression import BENCH_FORMAT, BENCH_SCHEMA_VERSION
 
 N_QUERIES = 64
 N_DISTINCT = 16  # 4x duplication: the cache-friendly traffic pattern
@@ -152,16 +153,28 @@ def test_parallel_batch_speedup_and_cache():
         )
     )
     report("parallel_batch", text)
+    # Same document shape as the regression harness's BENCH_*.json so
+    # CI artifact consumers parse one schema for both jobs.
     payload = {
-        "n_queries": N_QUERIES,
-        "n_distinct_queries": N_DISTINCT,
-        "usable_cores": cores,
-        "timings_seconds": {str(w): timings[w] for w in WORKER_COUNTS},
-        "queries_per_second": {
-            str(w): N_QUERIES / timings[w] for w in WORKER_COUNTS
+        "format": BENCH_FORMAT,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": "parallel_batch",
+        "quick": False,
+        "workload": {
+            "queries": N_QUERIES,
+            "distinct_queries": N_DISTINCT,
         },
+        "workloads": {
+            f"workers{w}": {
+                "wall_seconds": timings[w],
+                "queries_per_second": N_QUERIES / timings[w],
+                "cache": cache_stats[w],
+                "phases": {},
+            }
+            for w in WORKER_COUNTS
+        },
+        "usable_cores": cores,
         "speedup_1_to_4": speedup,
-        "cache": {str(w): cache_stats[w] for w in WORKER_COUNTS},
         "speedup_assertion_enforced": cores >= MIN_CORES_FOR_ASSERTION,
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,502 @@
+"""Perf-regression harness: pinned workload matrix vs committed baseline.
+
+The interactive pipeline's responsiveness budget lives in its per-phase
+costs (KDE gridding, flood fill, projection search); this script pins a
+small workload matrix, measures it through the tracing substrate, and
+diffs the result against a committed baseline so perf regressions are
+caught as a readable table instead of being discovered in production.
+
+Modes
+-----
+``record``
+    Run the matrix and write the schema-versioned baseline
+    (``BENCH_core.json`` at the repo root by default).  Commit the file.
+``check``
+    Run the matrix, compare against the committed baseline, print a
+    per-metric diff table, write the current measurement and the table
+    under ``benchmarks/results/``, and exit non-zero when any compared
+    metric regressed by more than ``--threshold`` (default 25%).
+
+Workload matrix (``--quick`` halves the sizes and drops a cell):
+
+* ``sequential``      — ``run_batch(workers=1, max_in_flight=1)``
+* ``interleaved``     — ``run_batch(workers=1, max_in_flight=8)``
+* ``workers4``        — ``run_batch(workers=4)`` (worker telemetry ships
+  home, so the per-phase aggregate covers worker-side spans too)
+* ``sequential_nocache`` — sequential with the KDE grid cache disabled
+
+Each cell records wall seconds, queries/second, the KDE cache hit rate,
+and the per-phase trace aggregate (count, wall/cpu/self totals) for the
+key pipeline phases; the document also carries peak RSS (self and
+children) from :func:`resource.getrusage`.
+
+Wall-clock comparisons across *different machines* are meaningless —
+baselines are per-environment artifacts.  CI runs ``check`` as a
+non-blocking report job with a generous threshold; phase *counts* are
+compared exactly (they are deterministic for a pinned workload) and
+catch behavioral regressions (e.g. a cache that silently stopped
+hitting) independent of machine speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression.py record
+    PYTHONPATH=src python benchmarks/regression.py check --threshold 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+#: Schema version of the BENCH_*.json baseline document.
+BENCH_SCHEMA_VERSION = 1
+
+#: Baseline document format tag.
+BENCH_FORMAT = "repro.bench"
+
+#: Default relative slowdown tolerated before ``check`` fails.
+DEFAULT_THRESHOLD = 0.25
+
+#: Ignore phases faster than this in the baseline when diffing wall
+#: time — sub-millisecond totals are dominated by clock noise.
+MIN_COMPARED_SECONDS = 5e-3
+
+#: The per-phase spans the harness tracks (see docs/OBSERVABILITY.md).
+KEY_PHASES = (
+    "engine.step",
+    "projection.find",
+    "kde.grid",
+    "connectivity.flood_fill",
+    "batch.finalize",
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_core.json"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+# ----------------------------------------------------------------------
+# Workload matrix
+# ----------------------------------------------------------------------
+def _build_workload(points: int, queries: int, seed: int):
+    """The pinned dataset / config / duplicated query mix."""
+    from repro.core.config import SearchConfig
+    from repro.data.synthetic import (
+        ProjectedClusterSpec,
+        generate_projected_clusters,
+    )
+
+    spec = ProjectedClusterSpec(
+        n_points=points,
+        dim=10,
+        n_clusters=3,
+        cluster_dim=4,
+        axis_parallel=True,
+        noise_fraction=0.1,
+    )
+    data = generate_projected_clusters(spec, np.random.default_rng(seed))
+    dataset = data.dataset
+    rng = np.random.default_rng(seed + 1)
+    clustered = np.concatenate(
+        [dataset.cluster_indices(label) for label in range(3)]
+    )
+    distinct = rng.choice(
+        clustered, size=max(2, queries // 4), replace=False
+    )
+    query_indices = rng.choice(distinct, size=queries, replace=True)
+    config = SearchConfig(
+        support=15,
+        grid_resolution=30,
+        min_major_iterations=2,
+        max_major_iterations=2,
+        projection_restarts=2,
+    )
+    return dataset, config, query_indices
+
+
+def _run_cell(
+    dataset, config, query_indices, *, runner: Callable[..., Any]
+) -> dict[str, Any]:
+    """Run one matrix cell under its own tracer; return its record."""
+    from repro.core.search import InteractiveNNSearch
+    from repro.obs.metrics import counter_values
+    from repro.obs.trace import Tracer
+
+    search = InteractiveNNSearch(dataset, config)
+    before = counter_values()
+    tracer = Tracer()
+    start = time.perf_counter()
+    with tracer.activate():
+        runner(search)
+    wall = time.perf_counter() - start
+    after = counter_values()
+    hits = after.get("kde.cache.hit", 0.0) - before.get("kde.cache.hit", 0.0)
+    misses = after.get("kde.cache.miss", 0.0) - before.get(
+        "kde.cache.miss", 0.0
+    )
+    lookups = hits + misses
+    aggregate = tracer.report().aggregate()
+    phases = {
+        name: {
+            "count": int(entry["count"]),
+            "wall_total": entry["wall_total"],
+            "wall_mean": entry["wall_mean"],
+            "cpu_total": entry["cpu_total"],
+            "self_wall_total": entry["self_wall_total"],
+        }
+        for name, entry in aggregate.items()
+        if name in KEY_PHASES
+    }
+    return {
+        "wall_seconds": wall,
+        "queries_per_second": len(query_indices) / wall if wall else 0.0,
+        "cache": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": hits / lookups if lookups else 0.0,
+        },
+        "phases": phases,
+    }
+
+
+def run_matrix(
+    *,
+    points: int = 1200,
+    queries: int = 32,
+    seed: int = 42,
+    quick: bool = False,
+    name: str = "core",
+) -> dict[str, Any]:
+    """Run every matrix cell; return the schema-versioned document."""
+    import resource
+
+    from repro.core.batch import run_batch
+    from repro.density.cache import disabled_density_cache
+    from repro.interaction.factories import OracleFactory
+
+    if quick:
+        points = max(400, points // 2)
+        queries = max(8, queries // 2)
+    dataset, config, query_indices = _build_workload(points, queries, seed)
+    factory = OracleFactory()
+
+    def sequential(search):
+        return run_batch(search, query_indices, factory, max_in_flight=1)
+
+    def interleaved(search):
+        return run_batch(search, query_indices, factory, max_in_flight=8)
+
+    def workers4(search):
+        return run_batch(search, query_indices, factory, workers=4)
+
+    def sequential_nocache(search):
+        with disabled_density_cache():
+            return run_batch(search, query_indices, factory, max_in_flight=1)
+
+    cells: dict[str, Callable[..., Any]] = {
+        "sequential": sequential,
+        "interleaved": interleaved,
+        "workers4": workers4,
+        "sequential_nocache": sequential_nocache,
+    }
+    if quick:
+        del cells["sequential_nocache"]
+
+    workloads: dict[str, dict[str, Any]] = {}
+    for cell_name, runner in cells.items():
+        print(f"  running {cell_name} ...", flush=True)
+        workloads[cell_name] = _run_cell(
+            dataset, config, query_indices, runner=runner
+        )
+        print(
+            f"    {workloads[cell_name]['wall_seconds']:.2f}s "
+            f"({workloads[cell_name]['queries_per_second']:.2f} q/s)",
+            flush=True,
+        )
+    usage_self = resource.getrusage(resource.RUSAGE_SELF)
+    usage_children = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return {
+        "format": BENCH_FORMAT,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "quick": quick,
+        "workload": {
+            "points": points,
+            "queries": queries,
+            "seed": seed,
+            "support": config.support,
+            "grid_resolution": config.grid_resolution,
+        },
+        # ru_maxrss is kilobytes on Linux.
+        "peak_rss_bytes": {
+            "self": int(usage_self.ru_maxrss) * 1024,
+            "children": int(usage_children.ru_maxrss) * 1024,
+        },
+        "workloads": workloads,
+    }
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def compare(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """Diff two measurement documents.
+
+    Returns ``(rows, regressions)``: one row per compared metric
+    (workload, metric, baseline, current, relative delta, status) and
+    the list of human-readable regression descriptions.  A wall-time
+    metric regresses when ``current > baseline * (1 + threshold)`` and
+    the baseline is above :data:`MIN_COMPARED_SECONDS`; deterministic
+    phase *counts* regress on any mismatch.
+    """
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+
+    def add(workload: str, metric: str, base: float, cur: float, kind: str):
+        if base <= 0:
+            delta = 0.0 if cur <= 0 else float("inf")
+        else:
+            delta = (cur - base) / base
+        if kind == "count":
+            regressed = int(base) != int(cur)
+        elif kind == "seconds":
+            regressed = base > MIN_COMPARED_SECONDS and delta > threshold
+        else:  # rate: lower is worse
+            regressed = base > 0 and (base - cur) / base > threshold
+        status = "REGRESSION" if regressed else "ok"
+        if kind == "seconds" and not regressed and delta < -threshold:
+            status = "improved"
+        rows.append(
+            {
+                "workload": workload,
+                "metric": metric,
+                "baseline": base,
+                "current": cur,
+                "delta": delta,
+                "kind": kind,
+                "status": status,
+            }
+        )
+        if regressed:
+            if kind == "count":
+                detail = f"{int(base)} -> {int(cur)}"
+            elif kind == "rate":
+                detail = f"{base:.1%} -> {cur:.1%}"
+            else:
+                detail = f"{base:.3f}s -> {cur:.3f}s (+{delta:.0%})"
+            regressions.append(f"{workload}/{metric}: {detail}")
+
+    base_workloads = baseline.get("workloads", {})
+    cur_workloads = current.get("workloads", {})
+    for workload in sorted(set(base_workloads) & set(cur_workloads)):
+        base_cell = base_workloads[workload]
+        cur_cell = cur_workloads[workload]
+        add(
+            workload,
+            "wall_seconds",
+            float(base_cell["wall_seconds"]),
+            float(cur_cell["wall_seconds"]),
+            "seconds",
+        )
+        add(
+            workload,
+            "cache.hit_rate",
+            float(base_cell["cache"]["hit_rate"]),
+            float(cur_cell["cache"]["hit_rate"]),
+            "rate",
+        )
+        base_phases = base_cell.get("phases", {})
+        cur_phases = cur_cell.get("phases", {})
+        for phase in sorted(set(base_phases) & set(cur_phases)):
+            add(
+                workload,
+                f"{phase}.count",
+                float(base_phases[phase]["count"]),
+                float(cur_phases[phase]["count"]),
+                "count",
+            )
+            add(
+                workload,
+                f"{phase}.wall_total",
+                float(base_phases[phase]["wall_total"]),
+                float(cur_phases[phase]["wall_total"]),
+                "seconds",
+            )
+    return rows, regressions
+
+
+def render_diff_table(rows: list[dict[str, Any]]) -> str:
+    """Fixed-width diff table over :func:`compare` rows."""
+    headers = ["workload", "metric", "baseline", "current", "delta", "status"]
+    table = [headers]
+    for row in rows:
+        if row["kind"] == "count":
+            base = str(int(row["baseline"]))
+            cur = str(int(row["current"]))
+        elif row["kind"] == "rate":
+            base = f"{row['baseline']:.1%}"
+            cur = f"{row['current']:.1%}"
+        else:
+            base = f"{row['baseline'] * 1e3:.1f}ms"
+            cur = f"{row['current'] * 1e3:.1f}ms"
+        delta = (
+            f"{row['delta']:+.1%}" if row["delta"] != float("inf") else "+inf"
+        )
+        table.append(
+            [row["workload"], row["metric"], base, cur, delta, row["status"]]
+        )
+    widths = [
+        max(len(line[col]) for line in table) for col in range(len(headers))
+    ]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(line))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def load_baseline(path: Path) -> dict[str, Any]:
+    """Read and validate a baseline document; raises ``ValueError``."""
+    payload = json.loads(path.read_text())
+    if payload.get("format") != BENCH_FORMAT:
+        raise ValueError(
+            f"{path} is not a {BENCH_FORMAT} document "
+            "(record one with: python benchmarks/regression.py record)"
+        )
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has schema_version {payload.get('schema_version')}; "
+            f"this harness speaks {BENCH_SCHEMA_VERSION} — re-record the "
+            "baseline"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="performance regression harness (record / check)"
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+    for mode in ("record", "check"):
+        p = sub.add_parser(mode)
+        p.add_argument(
+            "--baseline",
+            type=Path,
+            default=DEFAULT_BASELINE,
+            help=f"baseline JSON path (default: {DEFAULT_BASELINE})",
+        )
+        p.add_argument("--name", default="core", help="baseline name tag")
+        p.add_argument("--points", type=int, default=1200)
+        p.add_argument("--queries", type=int, default=32)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument(
+            "--quick",
+            action="store_true",
+            help="halved sizes, reduced matrix (CI mode)",
+        )
+    check = sub.choices["check"]
+    check.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"tolerated relative slowdown (default {DEFAULT_THRESHOLD})",
+    )
+    check.add_argument(
+        "--out-dir",
+        type=Path,
+        default=RESULTS_DIR,
+        help="directory receiving the current JSON + diff table",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code.
+
+    ``record`` exits 0 after writing the baseline.  ``check`` exits 0
+    when every compared metric is within threshold, 1 on regression,
+    and 2 when the baseline is missing or incompatible.
+    """
+    args = _build_parser().parse_args(argv)
+    if args.mode == "record":
+        print(f"recording baseline '{args.name}' ...")
+        payload = run_matrix(
+            points=args.points,
+            queries=args.queries,
+            seed=args.seed,
+            quick=args.quick,
+            name=args.name,
+        )
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    # check
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"no baseline at {args.baseline}; record one first with: "
+            "python benchmarks/regression.py record",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"checking against baseline '{baseline.get('name')}' ...")
+    current = run_matrix(
+        points=int(baseline["workload"].get("points", args.points)),
+        queries=int(baseline["workload"].get("queries", args.queries)),
+        seed=int(baseline["workload"].get("seed", args.seed)),
+        quick=bool(baseline.get("quick", args.quick)),
+        name=str(baseline.get("name", args.name)),
+    )
+    rows, regressions = compare(baseline, current, threshold=args.threshold)
+    table = render_diff_table(rows)
+    print()
+    print(table)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    current_path = args.out_dir / f"BENCH_{current['name']}_current.json"
+    current_path.write_text(
+        json.dumps(current, indent=2, sort_keys=True) + "\n"
+    )
+    (args.out_dir / f"BENCH_{current['name']}_diff.txt").write_text(
+        table + "\n"
+    )
+    print(f"\ncurrent measurement written to {current_path}")
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ Commands
     Start an interactive terminal session — you are the user.
 ``info``
     Print version and configuration defaults.
+``serve-metrics``
+    Expose the metrics registry (or a saved ``metrics.json``) on a
+    local OpenMetrics/Prometheus scrape endpoint.
 
 Observability flags (accepted before or after the subcommand)
 -------------------------------------------------------------
@@ -23,6 +26,12 @@ Observability flags (accepted before or after the subcommand)
     Trace the command and write the trace to *PATH* (implies
     ``--trace``).  ``--trace-format chrome`` writes the Chrome
     ``chrome://tracing`` event format instead of the default JSON.
+    Traced parallel batches include the worker spans on per-worker
+    lanes (one Chrome track per worker process).
+``--metrics-out PATH``
+    After the command finishes, write the metrics registry to *PATH* —
+    Prometheus text format for ``.prom``/``.txt``/``.openmetrics``
+    suffixes, schema-versioned JSON otherwise.
 
 See ``docs/OBSERVABILITY.md`` for the span and metric inventory.
 """
@@ -227,6 +236,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.density.cache import get_density_cache
     from repro.interaction.factories import OracleFactory
     from repro.obs.metrics import REGISTRY
+    from repro.obs.openmetrics import render_metrics_digest
 
     spec = ProjectedClusterSpec(
         n_points=args.points,
@@ -266,35 +276,75 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     print(f"  mean natural-cluster size: {result.mean_natural_size:.1f}")
     print(f"  mean acceptance rate:      {result.mean_acceptance_rate:.1%}")
+    # Cross-process telemetry lands in the parent registry (worker
+    # snapshots are merged as tasks complete), so one digest covers
+    # sequential and parallel runs alike.
+    print(render_metrics_digest(REGISTRY))
     cache = get_density_cache()
-    if args.workers > 1:
-        # Worker-side cache activity arrives as merged counter deltas.
-        hits = REGISTRY.get("kde.cache.hit")
-        misses = REGISTRY.get("kde.cache.miss")
-        hit_count = int(hits.value) if hits is not None else 0
-        miss_count = int(misses.value) if misses is not None else 0
-        total = hit_count + miss_count
-        print(
-            f"  kde grid cache (workers): {hit_count} hits / "
-            f"{miss_count} misses "
-            f"(hit rate {hit_count / total if total else 0.0:.1%})"
-        )
-    elif cache is not None:
+    if args.workers == 1 and cache is not None:
         stats = cache.stats()
-        print(
-            "  kde grid cache: "
-            f"{stats['hits']} hits / {stats['misses']} misses "
-            f"(hit rate {stats['hit_rate']:.1%}, "
-            f"{stats['entries']} entries)"
+        print(f"  kde grid cache entries:    {stats['entries']}")
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Expose metrics on a local OpenMetrics scrape endpoint.
+
+    By default serves the **live** process registry (mostly useful when
+    embedded; the standalone CLI registry is static once the command
+    starts).  With ``--from-json`` it re-exposes a ``metrics.json``
+    document written earlier by ``--metrics-out``, so a finished batch
+    run's instruments can still be scraped or eyeballed.
+
+    ``--max-requests N`` exits after *N* successful scrapes (handy for
+    scripts and tests); without it the server runs until interrupted.
+    """
+    import json as json_module
+    import time
+
+    from repro.exceptions import ReproError
+    from repro.obs.openmetrics import start_metrics_server
+
+    snapshot_payload = None
+    if args.from_json:
+        try:
+            snapshot_payload = json_module.loads(
+                open(args.from_json, encoding="utf-8").read()
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {args.from_json}: {exc}", file=sys.stderr)
+            return 2
+        if (
+            not isinstance(snapshot_payload, dict)
+            or snapshot_payload.get("format") != "repro.metrics"
+        ):
+            print(
+                f"{args.from_json} is not a repro metrics.json document "
+                "(expected format='repro.metrics'; write one with "
+                "--metrics-out metrics.json)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        server = start_metrics_server(
+            args.port, args.host, snapshot_payload=snapshot_payload
         )
-    for name in (
-        "batch.parallel.tasks",
-        "batch.parallel.retries",
-        "batch.parallel.pool_restarts",
-    ):
-        instrument = REGISTRY.get(name)
-        if instrument is not None and instrument.value:
-            print(f"  {name}: {int(instrument.value)}")
+    except (OSError, ReproError) as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    source = f"snapshot {args.from_json}" if args.from_json else "live registry"
+    print(
+        f"serving {source} on http://{args.host}:{server.port}/metrics "
+        "(and /metrics.json); Ctrl-C to stop"
+    )
+    try:
+        while args.max_requests <= 0 or server.request_count < args.max_requests:
+            time.sleep(0.05)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.stop()
+    print(f"served {server.request_count} request(s)")
     return 0
 
 
@@ -344,6 +394,15 @@ def _observability_parent() -> argparse.ArgumentParser:
         choices=("json", "chrome"),
         default=argparse.SUPPRESS,
         help="trace file format for --trace-out (default: json)",
+    )
+    group.add_argument(
+        "--metrics-out",
+        type=str,
+        metavar="PATH",
+        default=argparse.SUPPRESS,
+        help="write the metrics registry to PATH when the command "
+        "finishes (.prom/.txt/.openmetrics: Prometheus text; "
+        "otherwise schema-versioned JSON)",
     )
     return common
 
@@ -425,6 +484,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="version and defaults", parents=[common])
     info.set_defaults(func=_cmd_info)
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="expose metrics on an OpenMetrics/Prometheus endpoint",
+        parents=[common],
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9464,
+        help="TCP port to bind (0 = ephemeral; default: 9464)",
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--from-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="serve a metrics.json written by --metrics-out instead of "
+        "the live registry",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit after N requests (0 = serve until interrupted)",
+    )
+    serve.set_defaults(func=_cmd_serve_metrics)
     return parser
 
 
@@ -445,15 +535,21 @@ def main(argv: list[str] | None = None) -> int:
     if verbosity:
         configure_logging(verbosity)
     trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
     tracing = bool(getattr(args, "trace", False)) or trace_out is not None
     if not tracing:
-        return args.func(args)
+        code = args.func(args)
+        if metrics_out:
+            _write_metrics_out(metrics_out)
+        return code
 
     start_trace(command=args.command, argv=list(argv) if argv else [])
     try:
         code = args.func(args)
     finally:
         report = finish_trace()
+    if metrics_out:
+        _write_metrics_out(metrics_out)
     if report is None:  # pragma: no cover - defensive
         return code
     span_count = sum(1 for _ in report.iter_spans())
@@ -462,11 +558,23 @@ def main(argv: list[str] | None = None) -> int:
             path = save_chrome_trace(report, trace_out)
         else:
             path = save_trace(report, trace_out)
-        print(f"trace written to {path} ({span_count} spans)")
+        lanes = report.lanes()
+        lane_note = (
+            f", {len(lanes)} process lanes" if len(lanes) > 1 else ""
+        )
+        print(f"trace written to {path} ({span_count} spans{lane_note})")
     else:
         print()
         print(ascii_flame(report))
     return code
+
+
+def _write_metrics_out(path: str) -> None:
+    """Write the registry for ``--metrics-out`` and say where it went."""
+    from repro.obs.openmetrics import write_metrics
+
+    written = write_metrics(path)
+    print(f"metrics written to {written}")
 
 
 if __name__ == "__main__":

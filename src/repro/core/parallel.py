@@ -29,10 +29,19 @@ throughput scales with the hardware.  The design goals, in order:
    ``max_retries`` extra attempts.  Shared memory is unlinked in a
    ``finally`` in all cases — no orphaned segments.
 
-Worker-side observability does not vanish: each task returns the delta
-of every process-local counter (``kde.cache.hit``, ``search.runs``,
-...) and the parent folds the deltas into its own registry, alongside
-the executor's own ``batch.parallel.*`` spans and counters.
+Worker-side observability does not vanish: each task brackets its work
+in a :class:`~repro.obs.snapshot.TelemetryCollector` and ships back a
+picklable :class:`~repro.obs.snapshot.TelemetrySnapshot` — counter
+deltas, histogram bucket/sum/count deltas, gauge last-writes, log
+summaries, and (when the parent is tracing) the worker's full span
+trees.  The parent folds the instruments into its own registry via
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` and adopts
+the span trees into the ambient tracer on a **per-worker lane**, so
+``python -m repro --trace batch --workers N`` yields one unified trace
+whose Chrome export shows one track per worker, alongside the
+executor's own ``batch.parallel.*`` spans and counters.  Passing
+``telemetry=False`` opts out (one WARNING is emitted the first time a
+batch drops worker telemetry).
 
 The entry point is :func:`run_parallel_batch`; prefer calling it
 through ``run_batch(..., workers=N)``.
@@ -58,9 +67,15 @@ from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError, ReproError
 from repro.interaction.base import validate_decision
 from repro.interaction.factories import UserFactoryLike, build_user
+from repro.obs.export import span_from_dict
 from repro.obs.logging import get_logger
-from repro.obs.metrics import counter, counter_values, merge_counter_deltas
-from repro.obs.trace import span
+from repro.obs.metrics import REGISTRY, counter
+from repro.obs.snapshot import (
+    TelemetryCollector,
+    TelemetrySnapshot,
+    replay_worker_logs,
+)
+from repro.obs.trace import current_tracer, span, tracing_enabled
 
 __all__ = [
     "run_parallel_batch",
@@ -74,6 +89,30 @@ _log = get_logger("core.parallel")
 _TASKS = counter("batch.parallel.tasks")
 _RETRIES = counter("batch.parallel.retries")
 _POOL_RESTARTS = counter("batch.parallel.pool_restarts")
+
+#: One-time guard for the telemetry-drop warning (satellite of the
+#: fleet-observability issue): opting out of worker telemetry on a
+#: traced/metered batch silently loses worker-side instruments, so the
+#: first such batch says so loudly on the ``repro.obs`` logger.
+_TELEMETRY_DROP_WARNED = False
+
+
+def _warn_telemetry_dropped(workers: int) -> None:
+    """Emit the one-time worker-telemetry-drop warning."""
+    global _TELEMETRY_DROP_WARNED
+    if _TELEMETRY_DROP_WARNED:
+        return
+    _TELEMETRY_DROP_WARNED = True
+    get_logger("obs").warning(
+        "run_parallel_batch(telemetry=False): worker telemetry (spans, "
+        "counters, histograms, gauges, log records) from %d worker "
+        "process(es) will be dropped%s; pass telemetry=True to ship it "
+        "back to this process (warned once per process)",
+        workers,
+        " — the active trace will be missing all worker spans"
+        if tracing_enabled()
+        else "",
+    )
 
 #: Extra attempts granted to a query whose worker died underneath it.
 DEFAULT_MAX_RETRIES = 1
@@ -186,13 +225,21 @@ _WORKER_ENV: dict[str, Any] = {}
 
 
 def _worker_init(
-    spec: _DatasetSpec, config: SearchConfig, factory_blob: bytes
+    spec: _DatasetSpec,
+    config: SearchConfig,
+    factory_blob: bytes,
+    telemetry: bool = True,
+    trace: bool = False,
 ) -> None:
     """Pool initializer: map the shared points, rebuild the dataset.
 
     Runs exactly once per worker process.  The dataset's point matrix
     is a **read-only zero-copy view** of the parent's shared segment;
     the precomputed statistics are installed rather than re-derived.
+    *telemetry* / *trace* mirror the parent's observability state: when
+    set, every task brackets its work in a
+    :class:`~repro.obs.snapshot.TelemetryCollector` (with a task-scoped
+    tracer iff *trace*) and ships the snapshot back with its result.
     """
     shm = _attach_shared_memory(spec.shm_name)
     points = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
@@ -213,16 +260,21 @@ def _worker_init(
             "config": config,
             "shared": shared,
             "user_factory": pickle.loads(factory_blob),
+            "telemetry": bool(telemetry),
+            "trace": bool(trace),
         }
     )
 
 
 def _drive_worker_engine(
     position: int, query_index: int, checkpoint_round_trip: bool
-) -> tuple[int, Any, dict[str, float]]:
+) -> tuple[int, Any, TelemetrySnapshot | None]:
     """Run one query to completion inside a worker.
 
-    Returns ``(position, BatchEntry, counter_deltas)``.  With
+    Returns ``(position, BatchEntry, telemetry_snapshot)`` — the
+    snapshot carries every counter/histogram/gauge delta, log summary,
+    and (when the parent traces) the task's span trees; ``None`` when
+    the batch opted out with ``telemetry=False``.  With
     *checkpoint_round_trip* the run is suspended at view step
     ``_ROUND_TRIP_STEP``, serialized through the full JSON checkpoint
     codec, resumed into a fresh engine, and then finished — proving the
@@ -236,37 +288,41 @@ def _drive_worker_engine(
     dataset: Dataset = env["dataset"]
     config: SearchConfig = env["config"]
     shared: DatasetPrecomputation = env["shared"]
-    before = counter_values()
-    user = build_user(env["user_factory"], dataset, query_index)
-    engine = SearchEngine(
-        dataset, config, precomputed=shared, structural_spans=False
-    )
-    event = engine.start(dataset.points[query_index])
-    tripped = not checkpoint_round_trip
-    while isinstance(event, ViewRequest):
-        if not tripped and event.step >= _ROUND_TRIP_STEP:
-            from repro.core.serialization import (
-                checkpoint_to_dict,
-                resume_engine,
-            )
+    collector: TelemetryCollector | None = None
+    if env.get("telemetry", True):
+        collector = TelemetryCollector(trace=env.get("trace", False))
+        collector.begin()
+    snapshot: TelemetrySnapshot | None = None
+    try:
+        user = build_user(env["user_factory"], dataset, query_index)
+        engine = SearchEngine(
+            dataset, config, precomputed=shared, structural_spans=False
+        )
+        event = engine.start(dataset.points[query_index])
+        tripped = not checkpoint_round_trip
+        while isinstance(event, ViewRequest):
+            if not tripped and event.step >= _ROUND_TRIP_STEP:
+                from repro.core.serialization import (
+                    checkpoint_to_dict,
+                    resume_engine,
+                )
 
-            payload = json.loads(json.dumps(checkpoint_to_dict(engine)))
-            engine.close()
-            engine, event = resume_engine(
-                payload, dataset, precomputed=shared, structural_spans=False
+                payload = json.loads(json.dumps(checkpoint_to_dict(engine)))
+                engine.close()
+                engine, event = resume_engine(
+                    payload, dataset, precomputed=shared, structural_spans=False
+                )
+                tripped = True
+                continue
+            decision = validate_decision(
+                user.review_view(event.view), event.view
             )
-            tripped = True
-            continue
-        decision = validate_decision(user.review_view(event.view), event.view)
-        event = engine.submit(decision)
-    entry = _finalize_entry(query_index, event)
-    after = counter_values()
-    deltas = {
-        name: after[name] - before.get(name, 0.0)
-        for name in after
-        if after[name] > before.get(name, 0.0)
-    }
-    return position, entry, deltas
+            event = engine.submit(decision)
+        entry = _finalize_entry(query_index, event)
+    finally:
+        if collector is not None:
+            snapshot = collector.finish()
+    return position, entry, snapshot
 
 
 # ----------------------------------------------------------------------
@@ -295,6 +351,7 @@ def run_parallel_batch(
     max_retries: int = DEFAULT_MAX_RETRIES,
     checkpoint_round_trip: bool = False,
     precomputed: DatasetPrecomputation | None = None,
+    telemetry: bool = True,
 ):
     """Run every query on a spawn process pool; results in input order.
 
@@ -320,6 +377,14 @@ def run_parallel_batch(
     precomputed:
         Optional parent-side precomputation whose derived statistics
         seed the workers.
+    telemetry:
+        Ship worker observability back to this process (default).  Each
+        task returns a :class:`~repro.obs.snapshot.TelemetrySnapshot`;
+        counters/histograms/gauges are folded into the parent registry,
+        worker WARNINGs are replayed, and — when a tracer is active
+        here — worker span trees are adopted into it on per-worker
+        lanes.  ``False`` drops all of that (a one-time WARNING says
+        so).
 
     Returns
     -------
@@ -330,6 +395,9 @@ def run_parallel_batch(
     indices = np.asarray(query_indices, dtype=int)
     workers = max(1, int(min(workers, indices.size)))
     factory_blob = _ensure_picklable_factory(user_factory)
+    trace_workers = bool(telemetry) and tracing_enabled()
+    if not telemetry:
+        _warn_telemetry_dropped(workers)
     handle = SharedDatasetHandle(dataset, precomputed)
     _log.info(
         "parallel batch: %d queries on %d workers (shared points: %d bytes in %s)",
@@ -341,6 +409,7 @@ def run_parallel_batch(
     entries: dict[int, Any] = {}
     remaining: dict[int, int] = dict(enumerate(indices.tolist()))
     attempts: dict[int, int] = {position: 0 for position in remaining}
+    lanes: dict[int, int] = {}  # worker pid -> trace lane (1-based)
     ctx = get_context("spawn")
     try:
         with span(
@@ -355,7 +424,13 @@ def run_parallel_batch(
                     max_workers=workers,
                     mp_context=ctx,
                     initializer=_worker_init,
-                    initargs=(handle.spec(), config, factory_blob),
+                    initargs=(
+                        handle.spec(),
+                        config,
+                        factory_blob,
+                        telemetry,
+                        trace_workers,
+                    ),
                 )
                 try:
                     broken = _dispatch_round(
@@ -363,6 +438,7 @@ def run_parallel_batch(
                         remaining,
                         entries,
                         checkpoint_round_trip,
+                        lanes,
                     )
                 finally:
                     executor.shutdown(wait=False, cancel_futures=True)
@@ -399,12 +475,18 @@ def _dispatch_round(
     remaining: dict[int, int],
     entries: dict[int, Any],
     checkpoint_round_trip: bool,
+    lanes: dict[int, int],
 ) -> bool:
     """Submit every remaining query; harvest until done or pool death.
 
-    Completed positions are moved from *remaining* into *entries* (and
-    their worker counter deltas merged into the parent registry).
-    Returns True when the pool broke and a retry round is needed.
+    Completed positions are moved from *remaining* into *entries*, and
+    each task's :class:`~repro.obs.snapshot.TelemetrySnapshot` is folded
+    back: instruments merge into the parent registry, shipped WARNINGs
+    are replayed, and — when a tracer is active — the worker's span
+    trees are adopted onto the worker's trace lane (*lanes* maps worker
+    pid to a stable 1-based lane across retry rounds; lane 0 is the
+    parent).  Returns True when the pool broke and a retry round is
+    needed.
     """
     with span("batch.parallel.dispatch", queries=len(remaining)):
         futures = {
@@ -422,7 +504,7 @@ def _dispatch_round(
         for future in done:
             position = futures[future]
             try:
-                pos, entry, deltas = future.result()
+                pos, entry, snapshot = future.result()
             except BrokenProcessPool:
                 return True
             _TASKS.inc()
@@ -431,6 +513,27 @@ def _dispatch_round(
                 query=remaining[position],
             ):
                 entries[pos] = entry
-                merge_counter_deltas(deltas)
+                if snapshot is not None:
+                    _merge_worker_snapshot(snapshot, lanes)
             del remaining[position]
     return False
+
+
+def _merge_worker_snapshot(
+    snapshot: TelemetrySnapshot, lanes: dict[int, int]
+) -> None:
+    """Fold one worker task's telemetry into the parent's observability.
+
+    Instruments merge into the process registry, shipped WARNING+
+    messages re-surface on ``repro.obs.worker``, and any worker span
+    trees are adopted into the ambient tracer on the worker's lane
+    (allocated on first sight of the pid, stable thereafter).
+    """
+    lane = lanes.setdefault(snapshot.worker_pid, len(lanes) + 1)
+    REGISTRY.merge_snapshot(snapshot)
+    replay_worker_logs(snapshot, lane=lane)
+    if snapshot.trace_roots:
+        tracer = current_tracer()
+        if tracer is not None:
+            for payload in snapshot.trace_roots:
+                tracer.adopt(span_from_dict(payload), lane=lane)

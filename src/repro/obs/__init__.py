@@ -11,6 +11,12 @@ Three cooperating pieces:
   exporters for completed traces.
 * :mod:`repro.obs.logging` — the ``repro.*`` structured logger
   hierarchy (NullHandler by default; the CLI's ``-v`` flags opt in).
+* :mod:`repro.obs.snapshot` — picklable cross-process telemetry
+  shipping for the parallel batch executor (worker spans, histogram /
+  gauge deltas, log summaries).
+* :mod:`repro.obs.openmetrics` — Prometheus/OpenMetrics text
+  exposition, ``metrics.json`` writer, end-of-run digest, and an
+  opt-in stdlib scrape endpoint.
 
 Quick start::
 
@@ -29,6 +35,8 @@ from repro.obs.export import (
     load_trace,
     save_chrome_trace,
     save_trace,
+    span_from_dict,
+    span_to_dict,
     to_chrome_trace,
     trace_to_dict,
 )
@@ -36,14 +44,29 @@ from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
+    METRICS_SCHEMA_VERSION,
     REGISTRY,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     counter,
+    estimate_quantile,
     gauge,
     histogram,
+)
+from repro.obs.openmetrics import (
+    MetricsServer,
+    render_metrics_digest,
+    render_openmetrics,
+    start_metrics_server,
+    write_metrics,
+)
+from repro.obs.snapshot import (
+    HistogramDelta,
+    TelemetryCollector,
+    TelemetrySnapshot,
+    replay_worker_logs,
 )
 from repro.obs.trace import (
     Span,
@@ -79,14 +102,29 @@ __all__ = [
     "histogram",
     "DEFAULT_SECONDS_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "METRICS_SCHEMA_VERSION",
+    "estimate_quantile",
     # export
     "trace_to_dict",
     "dict_to_trace",
+    "span_to_dict",
+    "span_from_dict",
     "save_trace",
     "load_trace",
     "to_chrome_trace",
     "save_chrome_trace",
     "ascii_flame",
+    # snapshot (cross-process telemetry)
+    "TelemetrySnapshot",
+    "TelemetryCollector",
+    "HistogramDelta",
+    "replay_worker_logs",
+    # openmetrics
+    "render_openmetrics",
+    "render_metrics_digest",
+    "write_metrics",
+    "MetricsServer",
+    "start_metrics_server",
     # logging
     "get_logger",
     "configure_logging",

@@ -16,6 +16,7 @@ Three renderings of a completed :class:`~repro.obs.trace.TraceReport`:
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -24,6 +25,8 @@ from repro.obs.trace import Span, TraceReport
 __all__ = [
     "trace_to_dict",
     "dict_to_trace",
+    "span_to_dict",
+    "span_from_dict",
     "save_trace",
     "load_trace",
     "to_chrome_trace",
@@ -31,14 +34,21 @@ __all__ = [
     "ascii_flame",
 ]
 
-#: Schema version of the JSON trace format.
-TRACE_SCHEMA_VERSION = 1
+#: Schema version of the JSON trace format.  Version 2 adds the
+#: per-span ``lane`` field (process lane of multi-process traces);
+#: version-1 archives load fine (lane defaults to 0).
+TRACE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
 # JSON round trip
 # ----------------------------------------------------------------------
-def _span_to_dict(span: Span) -> dict[str, Any]:
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """Serialize one span tree to a JSON-compatible dictionary.
+
+    Public because the cross-process telemetry snapshot ships worker
+    span trees in exactly this shape (see :mod:`repro.obs.snapshot`).
+    """
     return {
         "name": span.name,
         "start_wall": span.start_wall,
@@ -46,12 +56,14 @@ def _span_to_dict(span: Span) -> dict[str, Any]:
         "start_cpu": span.start_cpu,
         "end_cpu": span.end_cpu,
         "thread_id": span.thread_id,
+        "lane": span.lane,
         "attributes": dict(span.attributes),
-        "children": [_span_to_dict(child) for child in span.children],
+        "children": [span_to_dict(child) for child in span.children],
     }
 
 
-def _span_from_dict(payload: dict[str, Any]) -> Span:
+def span_from_dict(payload: dict[str, Any]) -> Span:
+    """Rebuild a span tree from :func:`span_to_dict` output."""
     return Span(
         name=payload["name"],
         start_wall=payload["start_wall"],
@@ -59,9 +71,15 @@ def _span_from_dict(payload: dict[str, Any]) -> Span:
         start_cpu=payload["start_cpu"],
         end_cpu=payload["end_cpu"],
         thread_id=payload.get("thread_id", 0),
+        lane=payload.get("lane", 0),
         attributes=dict(payload.get("attributes", {})),
-        children=[_span_from_dict(child) for child in payload.get("children", [])],
+        children=[span_from_dict(child) for child in payload.get("children", [])],
     )
+
+
+# Backwards-compatible private aliases (pre-multiprocess name).
+_span_to_dict = span_to_dict
+_span_from_dict = span_from_dict
 
 
 def trace_to_dict(report: TraceReport) -> dict[str, Any]:
@@ -98,6 +116,22 @@ def load_trace(path: str | Path) -> TraceReport:
 # ----------------------------------------------------------------------
 # Chrome trace event format
 # ----------------------------------------------------------------------
+def _json_safe(value: Any) -> Any:
+    """Make one attribute value strict-JSON serializable.
+
+    Non-finite floats (``nan`` / ``inf``) are not valid JSON; Chrome's
+    trace viewer rejects files containing them.  They are rendered as
+    strings instead; containers are sanitized recursively.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
 def to_chrome_trace(report: TraceReport) -> dict[str, Any]:
     """Render the trace in Chrome's trace-event JSON format.
 
@@ -105,26 +139,43 @@ def to_chrome_trace(report: TraceReport) -> dict[str, Any]:
     microsecond ``ts`` / ``dur`` relative to the earliest span start,
     so the file loads directly into ``chrome://tracing`` or
     https://ui.perfetto.dev.
+
+    Multi-process traces (see :meth:`~repro.obs.trace.Tracer.adopt`)
+    map each span's :attr:`~repro.obs.trace.Span.lane` onto the Chrome
+    ``pid``, so a traced ``batch --workers N`` renders one track per
+    worker; ``process_name`` metadata events label the lanes.  Span
+    attributes are sanitized for strict JSON (non-finite floats become
+    strings).
     """
     spans = list(report.iter_spans())
     origin = min((s.start_wall for s in spans), default=0.0)
-    events = [
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": lane,
+            "tid": 0,
+            "args": {"name": "parent" if lane == 0 else f"worker-{lane}"},
+        }
+        for lane in sorted({s.lane for s in spans})
+    ]
+    events.extend(
         {
             "name": s.name,
             "ph": "X",
             "ts": (s.start_wall - origin) * 1e6,
             "dur": s.wall * 1e6,
-            "pid": 0,
+            "pid": s.lane,
             "tid": s.thread_id,
             "cat": s.name.split(".", 1)[0],
-            "args": dict(s.attributes),
+            "args": {k: _json_safe(v) for k, v in s.attributes.items()},
         }
         for s in spans
-    ]
+    )
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": dict(report.metadata),
+        "otherData": _json_safe(dict(report.metadata)),
     }
 
 
@@ -132,7 +183,9 @@ def save_chrome_trace(report: TraceReport, path: str | Path) -> Path:
     """Write the Chrome trace-event format; returns the written path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_chrome_trace(report)))
+    # allow_nan=False locks the strict-JSON guarantee: the sanitizer in
+    # to_chrome_trace must have handled every non-finite value.
+    path.write_text(json.dumps(to_chrome_trace(report), allow_nan=False))
     return path
 
 

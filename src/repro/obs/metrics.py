@@ -27,7 +27,10 @@ from __future__ import annotations
 import bisect
 import math
 import threading
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.snapshot import TelemetrySnapshot
 
 __all__ = [
     "Counter",
@@ -40,9 +43,15 @@ __all__ = [
     "histogram",
     "counter_values",
     "merge_counter_deltas",
+    "estimate_quantile",
+    "METRICS_SCHEMA_VERSION",
     "DEFAULT_SECONDS_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
 ]
+
+#: Schema version of the ``metrics.json`` dump written by
+#: :meth:`MetricsRegistry.to_dict` / ``repro.obs.openmetrics``.
+METRICS_SCHEMA_VERSION = 1
 
 #: Latency buckets (seconds): 100 µs .. 30 s, roughly log-spaced.
 DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
@@ -76,6 +85,72 @@ DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
     5000,
     10000,
 )
+
+
+def estimate_quantile(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    minimum: float,
+    maximum: float,
+    q: float,
+) -> float:
+    """Estimate the *q*-quantile of a bucketed distribution.
+
+    Works on the raw state of a :class:`Histogram` (or a serialized
+    snapshot of one): ascending bucket upper bounds, per-bucket (non-
+    cumulative) counts with the ``+inf`` overflow last, the observation
+    count, and the exact observed extremes.
+
+    The estimator locates the bucket whose cumulative count covers the
+    target rank ``q * total`` and **interpolates linearly** inside it,
+    assuming observations are uniformly spread within the bucket.  The
+    bucket edges are sharpened with the tracked extremes: the first
+    populated bucket's lower edge is the observed minimum and the
+    overflow bucket's upper edge is the observed maximum, so the
+    estimate is always finite (``inf`` overflow included) and always in
+    ``[minimum, maximum]``.
+
+    Error bound
+    -----------
+    The estimate differs from the exact sample quantile by at most the
+    width of the (extreme-sharpened) bucket containing that quantile;
+    ``q=0`` and ``q=1`` return the exact minimum / maximum.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if total <= 0:
+        return math.nan
+    if q == 0.0:
+        return float(minimum)
+    if q == 1.0:
+        return float(maximum)
+    target = q * total
+    cumulative = 0
+    n_bounds = len(buckets)
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        before = cumulative
+        cumulative += bucket_count
+        if cumulative < target:
+            continue
+        lower = minimum if index == 0 else float(buckets[index - 1])
+        upper = maximum if index == n_bounds else float(buckets[index])
+        # Sharpen nominal edges with the exact extremes (also absorbs
+        # user-supplied infinite bucket bounds).
+        lower = max(lower, minimum)
+        upper = min(upper, maximum)
+        if not math.isfinite(lower):
+            lower = minimum
+        if not math.isfinite(upper):
+            upper = maximum
+        if upper < lower:
+            upper = lower
+        fraction = (target - before) / bucket_count
+        value = lower + fraction * (upper - lower)
+        return float(min(max(value, minimum), maximum))
+    return float(maximum)  # pragma: no cover - cumulative >= target above
 
 
 class Counter:
@@ -238,23 +313,60 @@ class Histogram:
         return tuple(out)
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (upper bound of the bucket).
+        """Linear-interpolation quantile estimate from the buckets.
 
-        Returns the smallest bucket bound whose cumulative count covers
-        fraction *q* of the observations; the overflow bucket reports
-        the observed maximum.
+        Delegates to :func:`estimate_quantile` on a consistent snapshot
+        of the histogram state: the target rank's bucket is found in the
+        cumulative distribution and the value interpolated linearly
+        within it, with the first populated bucket's lower edge and the
+        ``+inf`` overflow bucket's upper edge sharpened to the exact
+        observed minimum / maximum (so the estimate is always finite).
+
+        The estimate is exact for ``q in {0, 1}`` and otherwise off by
+        at most the width of the bucket containing the true sample
+        quantile — pick bucket bounds accordingly.  Returns ``nan`` for
+        an empty histogram; raises ``ValueError`` outside ``[0, 1]``.
         """
-        if not 0 <= q <= 1:
-            raise ValueError("quantile must be in [0, 1]")
-        if self._count == 0:
-            return math.nan
-        target = q * self._count
-        cumulative = 0
-        for bound, c in zip(self._buckets, self._counts):
-            cumulative += c
-            if cumulative >= target:
-                return bound
-        return self._max
+        with self._lock:
+            counts = tuple(self._counts)
+            total = self._count
+            lo, hi = self._min, self._max
+        return estimate_quantile(self._buckets, counts, total, lo, hi, q)
+
+    def merge_state(
+        self,
+        *,
+        counts: Sequence[int],
+        sum_delta: float,
+        count_delta: int,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        """Fold another histogram's (delta) state into this one.
+
+        *counts* must align with this histogram's buckets (length
+        ``len(buckets) + 1``, overflow last).  ``minimum`` / ``maximum``
+        are merged with ``min`` / ``max`` — shipping a worker's lifetime
+        extremes is therefore idempotent.  Used by
+        :meth:`MetricsRegistry.merge_snapshot` to absorb worker-side
+        observations without replaying them one by one.
+        """
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(counts)} bucket "
+                f"counts into {len(self._counts)} buckets"
+            )
+        if count_delta < 0 or any(c < 0 for c in counts):
+            raise ValueError("histogram merge deltas must be non-negative")
+        with self._lock:
+            for index, c in enumerate(counts):
+                self._counts[index] += int(c)
+            self._sum += float(sum_delta)
+            self._count += int(count_delta)
+            if minimum < self._min:
+                self._min = minimum
+            if maximum > self._max:
+                self._max = maximum
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-compatible state dump."""
@@ -340,6 +452,58 @@ class MetricsRegistry:
         """JSON-compatible dump of every instrument, sorted by name."""
         return {name: self._instruments[name].snapshot() for name in self.names()}
 
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON document of the whole registry.
+
+        This is the ``metrics.json`` payload written by the CLI's
+        ``--metrics-out`` flag and consumed by
+        ``python -m repro serve-metrics --from-json``.
+        """
+        return {
+            "format": "repro.metrics",
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metrics": self.snapshot(),
+        }
+
+    def merge_snapshot(self, snapshot: "TelemetrySnapshot") -> None:
+        """Fold a worker's :class:`~repro.obs.snapshot.TelemetrySnapshot` in.
+
+        Generalizes :func:`merge_counter_deltas` to every instrument
+        kind:
+
+        * **counters** — positive deltas are added (get-or-create);
+        * **histograms** — per-bucket count deltas, sum and count deltas
+          are added and the worker's observed extremes merged; a
+          histogram whose bucket bounds disagree with the local
+          instrument is skipped with a warning (merging incompatible
+          layouts would corrupt the distribution);
+        * **gauges** — the worker's last write wins (gauges are
+          instantaneous readings, not accumulators).
+        """
+        for name, delta in snapshot.counters.items():
+            if delta > 0:
+                self.counter(name).inc(delta)
+        for name, h in snapshot.histograms.items():
+            instrument = self.histogram(name, h.buckets)
+            if instrument.buckets != tuple(h.buckets):
+                _metrics_log().warning(
+                    "dropping worker histogram %r: bucket bounds %s do not "
+                    "match the local instrument's %s",
+                    name,
+                    tuple(h.buckets),
+                    instrument.buckets,
+                )
+                continue
+            instrument.merge_state(
+                counts=h.counts,
+                sum_delta=h.sum,
+                count_delta=h.count,
+                minimum=h.min,
+                maximum=h.max,
+            )
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+
     def reset(self) -> None:
         """Zero every instrument (instruments stay registered)."""
         for instrument in list(self._instruments.values()):
@@ -349,6 +513,15 @@ class MetricsRegistry:
         """Drop every instrument entirely."""
         with self._lock:
             self._instruments.clear()
+
+
+def _metrics_log():
+    """The ``repro.obs`` logger (imported lazily: logging is cycle-free
+    but keeping the import out of module scope preserves the zero-cost
+    import path of the metrics hot module)."""
+    from repro.obs.logging import get_logger
+
+    return get_logger("obs")
 
 
 #: The process-wide default registry used by the library's

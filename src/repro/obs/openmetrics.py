@@ -1,0 +1,419 @@
+"""OpenMetrics / Prometheus text exposition of the metrics registry.
+
+Renders every instrument of a :class:`~repro.obs.metrics.MetricsRegistry`
+in the Prometheus text format (OpenMetrics dialect): counters with a
+``_total`` suffix, gauges verbatim, histograms with cumulative
+``_bucket{le="..."}`` series plus ``_sum`` / ``_count``, and — because
+fixed-bucket histograms lose the raw observations — an auxiliary
+``<name>_quantile{q="..."}`` gauge family estimated with
+:meth:`~repro.obs.metrics.Histogram.quantile` (linear interpolation
+within buckets; see its documented error bounds).
+
+Three consumption paths:
+
+* :func:`write_metrics` — one-shot file export, wired to the CLI's
+  ``--metrics-out`` flag (``.prom``/``.txt``/``.openmetrics`` suffixes
+  write the text format, anything else the schema-versioned
+  ``metrics.json``);
+* :func:`start_metrics_server` — an opt-in stdlib ``http.server``
+  endpoint (``/metrics`` text, ``/metrics.json`` JSON) for scraping
+  long batch runs, used by ``python -m repro serve-metrics``;
+* :func:`render_metrics_digest` — the compact human summary
+  (cache hit rate, per-phase p50/p95) printed at the end of
+  ``python -m repro batch``.
+
+Everything renders from the registry's JSON ``snapshot()`` payload, so
+a ``metrics.json`` written by one process can be re-exposed verbatim by
+another (``serve-metrics --from-json``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    REGISTRY,
+    MetricsRegistry,
+    estimate_quantile,
+)
+
+__all__ = [
+    "render_openmetrics",
+    "render_openmetrics_snapshot",
+    "write_metrics",
+    "render_metrics_digest",
+    "MetricsServer",
+    "start_metrics_server",
+    "DEFAULT_PREFIX",
+    "DEFAULT_QUANTILES",
+    "OPENMETRICS_CONTENT_TYPE",
+]
+
+_log = get_logger("obs")
+
+#: Namespace prefix applied to every exposed metric name.
+DEFAULT_PREFIX = "repro_"
+
+#: Quantiles exposed per histogram (and shown in the CLI digest).
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.95, 0.99)
+
+#: Content type advertised by the scrape endpoint.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """Sanitize a dotted instrument name into a Prometheus metric name."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not prefix and _LEADING_DIGIT.match(sanitized):
+        sanitized = f"_{sanitized}"
+    return f"{prefix}{sanitized}"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-format one sample value (``+Inf`` spelling included)."""
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _format_bound(bound: float) -> str:
+    """``le`` label value for a bucket upper bound."""
+    return "+Inf" if math.isinf(bound) else repr(float(bound))
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_openmetrics_snapshot(
+    snapshot: dict[str, dict[str, Any]],
+    *,
+    prefix: str = DEFAULT_PREFIX,
+    quantiles: Iterable[float] = DEFAULT_QUANTILES,
+) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` payload as OpenMetrics text.
+
+    Rendering from the JSON snapshot (rather than live instruments)
+    means a ``metrics.json`` file written by a finished batch run can be
+    served unchanged — the basis of ``serve-metrics --from-json``.
+    Unknown instrument types are skipped with a warning rather than
+    poisoning the scrape.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        state = snapshot[name]
+        kind = state.get("type")
+        metric = _metric_name(name, prefix)
+        if kind == "counter":
+            lines.append(f"# HELP {metric} repro counter {name}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric}_total {_format_value(state['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {metric} repro gauge {name}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(state['value'])}")
+        elif kind == "histogram":
+            buckets = [float(b) for b in state["buckets"]]
+            counts = [int(c) for c in state["counts"]]
+            total = int(state["count"])
+            total_sum = float(state["sum"])
+            lines.append(f"# HELP {metric} repro histogram {name}")
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(buckets, counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_bound(bound)}"}} '
+                    f"{cumulative}"
+                )
+            cumulative += counts[len(buckets)] if len(counts) > len(buckets) else 0
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_format_value(total_sum)}")
+            lines.append(f"{metric}_count {total}")
+            if total > 0 and quantiles:
+                minimum = state.get("min")
+                maximum = state.get("max")
+                lines.append(
+                    f"# HELP {metric}_quantile estimated quantiles of "
+                    f"{name} (linear interpolation within buckets)"
+                )
+                lines.append(f"# TYPE {metric}_quantile gauge")
+                for q in quantiles:
+                    estimate = estimate_quantile(
+                        buckets,
+                        counts,
+                        total,
+                        float(minimum) if minimum is not None else math.inf,
+                        float(maximum) if maximum is not None else -math.inf,
+                        float(q),
+                    )
+                    lines.append(
+                        f'{metric}_quantile{{q="{_format_value(float(q))}"}} '
+                        f"{_format_value(estimate)}"
+                    )
+        else:  # pragma: no cover - future instrument kinds
+            _log.warning(
+                "skipping metric %r with unknown type %r in exposition",
+                name,
+                kind,
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def render_openmetrics(
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = DEFAULT_PREFIX,
+    quantiles: Iterable[float] = DEFAULT_QUANTILES,
+) -> str:
+    """Render a registry (default: the process registry) as OpenMetrics."""
+    reg = registry if registry is not None else REGISTRY
+    return render_openmetrics_snapshot(
+        reg.snapshot(), prefix=prefix, quantiles=quantiles
+    )
+
+
+#: File suffixes that select the text exposition format.
+_TEXT_SUFFIXES = {".prom", ".txt", ".openmetrics"}
+
+
+def write_metrics(
+    path: str | Path, registry: MetricsRegistry | None = None
+) -> Path:
+    """Write the registry to *path*; the suffix picks the format.
+
+    ``.prom`` / ``.txt`` / ``.openmetrics`` write the Prometheus text
+    format; any other suffix (conventionally ``.json``) writes the
+    schema-versioned JSON document from
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_dict`.
+    """
+    reg = registry if registry is not None else REGISTRY
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix.lower() in _TEXT_SUFFIXES:
+        path.write_text(render_openmetrics(reg))
+    else:
+        path.write_text(json.dumps(reg.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+# ----------------------------------------------------------------------
+# End-of-run digest
+# ----------------------------------------------------------------------
+def _counter_value(snapshot: dict[str, dict[str, Any]], name: str) -> float:
+    state = snapshot.get(name)
+    if state is None or state.get("type") != "counter":
+        return 0.0
+    return float(state["value"])
+
+
+def render_metrics_digest(
+    registry: MetricsRegistry | None = None,
+    *,
+    quantiles: tuple[float, float] = (0.5, 0.95),
+) -> str:
+    """Compact human-readable end-of-run metrics summary.
+
+    One line for the KDE grid-cache hit rate (merged across workers for
+    parallel batches — the cache counters cross the process boundary in
+    the telemetry snapshot), one line per populated histogram with its
+    count and interpolated percentiles (seconds-valued histograms are
+    shown in milliseconds), and one line per non-zero
+    ``batch.parallel.*`` counter.  Timing histograms only fill under
+    ``--trace``; empty instruments are omitted.
+    """
+    reg = registry if registry is not None else REGISTRY
+    snapshot = reg.snapshot()
+    lo_q, hi_q = quantiles
+    lines = ["metrics digest:"]
+    hits = _counter_value(snapshot, "kde.cache.hit")
+    misses = _counter_value(snapshot, "kde.cache.miss")
+    lookups = hits + misses
+    if lookups:
+        lines.append(
+            f"  kde grid cache: {int(hits)} hits / {int(misses)} misses "
+            f"(hit rate {hits / lookups:.1%})"
+        )
+    for name in sorted(snapshot):
+        state = snapshot[name]
+        if state.get("type") != "histogram" or not state["count"]:
+            continue
+        buckets = [float(b) for b in state["buckets"]]
+        counts = [int(c) for c in state["counts"]]
+        total = int(state["count"])
+        minimum = float(state["min"])
+        maximum = float(state["max"])
+        lo = estimate_quantile(buckets, counts, total, minimum, maximum, lo_q)
+        hi = estimate_quantile(buckets, counts, total, minimum, maximum, hi_q)
+        if "seconds" in name:
+            values = (
+                f"p{int(lo_q * 100)}={lo * 1e3:.2f} ms  "
+                f"p{int(hi_q * 100)}={hi * 1e3:.2f} ms"
+            )
+        else:
+            values = f"p{int(lo_q * 100)}={lo:.1f}  p{int(hi_q * 100)}={hi:.1f}"
+        lines.append(f"  {name}: n={total}  {values}")
+    for name in (
+        "batch.parallel.tasks",
+        "batch.parallel.retries",
+        "batch.parallel.pool_restarts",
+    ):
+        value = _counter_value(snapshot, name)
+        if value:
+            lines.append(f"  {name}: {int(value)}")
+    if len(lines) == 1:
+        lines.append("  (no instruments populated)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Scrape endpoint
+# ----------------------------------------------------------------------
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (text) and ``/metrics.json`` (JSON)."""
+
+    server: "MetricsServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/metrics"):
+            body = self.server.render_text().encode("utf-8")
+            content_type = OPENMETRICS_CONTENT_TYPE
+        elif path == "/metrics.json":
+            body = json.dumps(
+                self.server.payload(), indent=2, sort_keys=True
+            ).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.request_count += 1
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _log.debug("metrics endpoint: " + format, *args)
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """Stdlib HTTP server exposing one registry (or a frozen snapshot).
+
+    Serves either the **live** process registry (every scrape re-renders
+    current values — the mode embedded in long batch runs) or a frozen
+    ``metrics.json`` payload loaded from disk (``--from-json``).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        registry: MetricsRegistry | None = None,
+        snapshot_payload: dict[str, Any] | None = None,
+        prefix: str = DEFAULT_PREFIX,
+    ) -> None:
+        super().__init__(address, _MetricsHandler)
+        if registry is not None and snapshot_payload is not None:
+            raise ValueError("pass either a registry or a snapshot, not both")
+        self._registry = (
+            registry if (registry or snapshot_payload) else REGISTRY
+        )
+        self._snapshot_payload = snapshot_payload
+        self._prefix = prefix
+        self.request_count = 0
+        self._thread: threading.Thread | None = None
+
+    # -- data sources --------------------------------------------------
+    def _snapshot(self) -> dict[str, dict[str, Any]]:
+        if self._snapshot_payload is not None:
+            return self._snapshot_payload.get("metrics", {})
+        assert self._registry is not None
+        return self._registry.snapshot()
+
+    def payload(self) -> dict[str, Any]:
+        """The schema-versioned JSON document currently served."""
+        if self._snapshot_payload is not None:
+            return self._snapshot_payload
+        return {
+            "format": "repro.metrics",
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metrics": self._snapshot(),
+        }
+
+    def render_text(self) -> str:
+        """The OpenMetrics text currently served."""
+        return render_openmetrics_snapshot(
+            self._snapshot(), prefix=self._prefix
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return int(self.server_address[1])
+
+    def start_background(self) -> "MetricsServer":
+        """Serve forever on a daemon thread; returns self."""
+        thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"repro-metrics-server-{self.port}",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        """Shut the serve loop down and release the socket."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()
+
+
+def start_metrics_server(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    *,
+    registry: MetricsRegistry | None = None,
+    snapshot_payload: dict[str, Any] | None = None,
+) -> MetricsServer:
+    """Start a background scrape endpoint; returns the running server.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.port``).  The caller owns the server: call ``stop()`` when
+    done.  Example scrape config in ``docs/OBSERVABILITY.md``.
+    """
+    server = MetricsServer(
+        (host, port),
+        registry=registry,
+        snapshot_payload=snapshot_payload,
+    )
+    server.start_background()
+    _log.info(
+        "serving metrics on http://%s:%d/metrics", host, server.port
+    )
+    return server

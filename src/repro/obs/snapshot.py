@@ -1,0 +1,277 @@
+"""Cross-process telemetry shipping for the parallel batch executor.
+
+The process pool (:mod:`repro.core.parallel`) runs engines in spawn
+workers, where every instrument lives in the *worker's* registry and
+every span lands in the *worker's* tracer — invisible to the parent.
+Before this module only counter deltas crossed the boundary; worker
+spans, histogram observations, gauge writes, and log records were
+silently dropped, so ``--trace batch --workers 4`` produced a
+near-empty trace.
+
+:class:`TelemetryCollector` brackets one worker task and captures
+everything that happened into a picklable :class:`TelemetrySnapshot`:
+
+* **counter deltas** — positive per-name increments over the task;
+* **histogram deltas** — per-bucket count deltas plus sum/count deltas
+  and the worker's observed extremes (see
+  :meth:`~repro.obs.metrics.Histogram.merge_state` for the fold);
+* **gauge last-writes** — gauges whose reading changed during the task;
+* **log-record summaries** — per ``LEVEL:logger`` counts and the first
+  few formatted WARNING-or-above messages;
+* **trace roots** — the worker-local span trees, serialized with
+  :func:`repro.obs.export.span_to_dict`, collected by a task-scoped
+  tracer that is only installed when the parent itself is tracing.
+
+The parent folds a snapshot back with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`, adopts the
+span trees into the ambient tracer via
+:meth:`~repro.obs.trace.Tracer.adopt` (tagging a per-worker lane), and
+replays shipped warnings through :func:`replay_worker_logs`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.export import span_from_dict, span_to_dict
+from repro.obs.logging import ROOT_LOGGER_NAME, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "HistogramDelta",
+    "TelemetrySnapshot",
+    "TelemetryCollector",
+    "replay_worker_logs",
+    "MAX_SHIPPED_LOG_MESSAGES",
+]
+
+#: Cap on formatted WARNING+ messages carried by one snapshot (counts
+#: are always complete; only the verbatim text is bounded).
+MAX_SHIPPED_LOG_MESSAGES = 20
+
+
+@dataclass(frozen=True)
+class HistogramDelta:
+    """One histogram's task-scoped delta, bucket-layout included.
+
+    ``counts`` aligns with ``buckets`` plus the trailing ``+inf``
+    overflow.  ``min`` / ``max`` are the worker's lifetime extremes —
+    merging them repeatedly is idempotent (``min``/``max`` folds).
+    """
+
+    buckets: tuple[float, ...]
+    counts: tuple[int, ...]
+    sum: float
+    count: int
+    min: float
+    max: float
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Everything one worker task observed, in picklable form."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramDelta] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    log_counts: dict[str, int] = field(default_factory=dict)
+    log_messages: tuple[str, ...] = ()
+    trace_roots: tuple[dict[str, Any], ...] = ()
+    worker_pid: int = 0
+
+    def is_empty(self) -> bool:
+        """Whether the task produced no telemetry at all."""
+        return not (
+            self.counters
+            or self.histograms
+            or self.gauges
+            or self.log_counts
+            or self.trace_roots
+        )
+
+    def spans(self) -> tuple[Span, ...]:
+        """Deserialize the shipped trace roots into live span trees."""
+        return tuple(span_from_dict(payload) for payload in self.trace_roots)
+
+
+class _LogCapture(logging.Handler):
+    """Counts ``repro.*`` records and keeps a few WARNING+ messages."""
+
+    def __init__(self, max_messages: int = MAX_SHIPPED_LOG_MESSAGES) -> None:
+        super().__init__(level=logging.DEBUG)
+        self.counts: dict[str, int] = {}
+        self.messages: list[str] = []
+        self._max_messages = max_messages
+
+    def emit(self, record: logging.LogRecord) -> None:
+        key = f"{record.levelname}:{record.name}"
+        self.counts[key] = self.counts.get(key, 0) + 1
+        if (
+            record.levelno >= logging.WARNING
+            and len(self.messages) < self._max_messages
+        ):
+            try:
+                message = record.getMessage()
+            except Exception:  # pragma: no cover - malformed format args
+                message = str(record.msg)
+            self.messages.append(
+                f"{record.levelname} {record.name}: {message}"
+            )
+
+
+class TelemetryCollector:
+    """Bracket one unit of work and capture its telemetry.
+
+    Usage (worker side)::
+
+        collector = TelemetryCollector(trace=parent_is_tracing)
+        collector.begin()
+        try:
+            ... run the task ...
+        finally:
+            snapshot = collector.finish()
+        return snapshot  # picklable; parent merges it
+
+    ``begin``/``finish`` must be called on the same thread.  When
+    *trace* is true a fresh task-scoped tracer is activated (and the
+    previous one restored on ``finish``), so the worker's ``span(...)``
+    call sites light up exactly like the parent's.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        trace: bool = False,
+    ) -> None:
+        self._registry = registry if registry is not None else REGISTRY
+        self._trace = bool(trace)
+        self._counters_before: dict[str, float] = {}
+        self._hist_before: dict[str, tuple[tuple[int, ...], float, int]] = {}
+        self._gauges_before: dict[str, float] = {}
+        self._capture: _LogCapture | None = None
+        self._activation = None
+        self._tracer: Tracer | None = None
+        self._began = False
+
+    # ------------------------------------------------------------------
+    def begin(self) -> "TelemetryCollector":
+        """Record instrument baselines and install capture hooks."""
+        if self._began:
+            raise RuntimeError("TelemetryCollector.begin() called twice")
+        self._began = True
+        registry = self._registry
+        for name in registry.names():
+            instrument = registry.get(name)
+            if isinstance(instrument, Counter):
+                self._counters_before[name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                self._hist_before[name] = (
+                    instrument.counts,
+                    instrument.sum,
+                    instrument.count,
+                )
+            elif isinstance(instrument, Gauge):
+                self._gauges_before[name] = instrument.value
+        self._capture = _LogCapture()
+        logging.getLogger(ROOT_LOGGER_NAME).addHandler(self._capture)
+        if self._trace:
+            self._tracer = Tracer(worker_pid=os.getpid())
+            self._activation = self._tracer.activate()
+            self._activation.__enter__()
+        return self
+
+    def finish(self) -> TelemetrySnapshot:
+        """Tear down the hooks and assemble the snapshot."""
+        if not self._began:
+            raise RuntimeError("TelemetryCollector.finish() before begin()")
+        self._began = False
+        capture = self._capture
+        self._capture = None
+        if capture is not None:
+            logging.getLogger(ROOT_LOGGER_NAME).removeHandler(capture)
+        trace_roots: tuple[dict[str, Any], ...] = ()
+        if self._activation is not None:
+            self._activation.__exit__(None, None, None)
+            self._activation = None
+        if self._tracer is not None:
+            report = self._tracer.report()
+            trace_roots = tuple(span_to_dict(root) for root in report.roots)
+            self._tracer = None
+
+        registry = self._registry
+        counters: dict[str, float] = {}
+        histograms: dict[str, HistogramDelta] = {}
+        gauges: dict[str, float] = {}
+        for name in registry.names():
+            instrument = registry.get(name)
+            if isinstance(instrument, Counter):
+                delta = instrument.value - self._counters_before.get(name, 0.0)
+                if delta > 0:
+                    counters[name] = delta
+            elif isinstance(instrument, Histogram):
+                before_counts, before_sum, before_count = self._hist_before.get(
+                    name, ((0,) * len(instrument.counts), 0.0, 0)
+                )
+                count_delta = instrument.count - before_count
+                if count_delta <= 0:
+                    continue
+                after_counts = instrument.counts
+                histograms[name] = HistogramDelta(
+                    buckets=instrument.buckets,
+                    counts=tuple(
+                        after - before
+                        for after, before in zip(after_counts, before_counts)
+                    ),
+                    sum=instrument.sum - before_sum,
+                    count=count_delta,
+                    min=instrument.min,
+                    max=instrument.max,
+                )
+            elif isinstance(instrument, Gauge):
+                value = instrument.value
+                if value != self._gauges_before.get(name):
+                    gauges[name] = value
+        return TelemetrySnapshot(
+            counters=counters,
+            histograms=histograms,
+            gauges=gauges,
+            log_counts=dict(capture.counts) if capture is not None else {},
+            log_messages=(
+                tuple(capture.messages) if capture is not None else ()
+            ),
+            trace_roots=trace_roots,
+            worker_pid=os.getpid(),
+        )
+
+
+def replay_worker_logs(
+    snapshot: TelemetrySnapshot, *, lane: int | None = None
+) -> None:
+    """Surface a worker's shipped WARNING+ messages in the parent.
+
+    Each carried message is re-logged at WARNING on the
+    ``repro.obs.worker`` logger, prefixed with the worker's pid (and
+    lane when known), so operator-facing diagnostics from worker
+    processes are not lost to the process boundary.
+    """
+    if not snapshot.log_messages:
+        return
+    log = get_logger("obs.worker")
+    origin = (
+        f"worker pid={snapshot.worker_pid}"
+        if lane is None
+        else f"worker lane={lane} pid={snapshot.worker_pid}"
+    )
+    for message in snapshot.log_messages:
+        log.warning("[%s] %s", origin, message)

@@ -22,6 +22,7 @@ and the dataset/config match the fast golden-batch case.
 from __future__ import annotations
 
 import glob
+import logging
 import os
 import signal
 from dataclasses import dataclass
@@ -38,7 +39,8 @@ from repro.core.parallel import (
 from repro.core.search import InteractiveNNSearch
 from repro.exceptions import ConfigurationError
 from repro.interaction.factories import DatasetUserFactory, OracleFactory
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import REGISTRY, Histogram, counter_values
+from repro.obs.trace import finish_trace, start_trace, tracing_enabled
 
 from tests.core.test_engine_golden import GOLDENS
 from tests.golden.make_goldens import clustered_dataset
@@ -257,3 +259,167 @@ def test_worker_counters_are_merged_into_parent_registry():
     # deltas must land here.
     assert REGISTRY.counter("search.runs").value >= runs_before + 2
     assert REGISTRY.counter("batch.parallel.tasks").value == tasks_before + 2
+
+
+# Counters whose totals legitimately depend on the process topology:
+# the KDE grid cache is per-process (one shared cache sequentially,
+# one per worker in parallel) and ``batch.*`` belongs to the executor
+# itself, not the per-query engine work.
+_TOPOLOGY_DEPENDENT_PREFIXES = ("kde.cache.", "batch.")
+
+
+def _engine_counter_values() -> dict[str, float]:
+    return {
+        name: value
+        for name, value in counter_values().items()
+        if not name.startswith(_TOPOLOGY_DEPENDENT_PREFIXES)
+    }
+
+
+def _histogram_state(name: str) -> tuple[tuple[int, ...], float, int]:
+    instrument = REGISTRY.get(name)
+    if not isinstance(instrument, Histogram):
+        return ((), 0.0, 0)
+    return instrument.counts, instrument.sum, instrument.count
+
+
+def test_parallel_telemetry_parity_with_sequential():
+    """Counter and histogram totals match across process topologies.
+
+    Engines are isolated, so every query performs identical work no
+    matter which process runs it.  With worker snapshots merged back,
+    the parent registry after ``workers=4`` must show the same
+    per-engine counter deltas and the same deterministic histogram
+    observations (``connectivity.flood_fill.cells`` records exact cell
+    counts, always) as the in-process sequential run.
+    """
+    ds = clustered_dataset()
+    queries = np.array([0, 1, 2, 3], dtype=int)
+    search = InteractiveNNSearch(ds, FAST_CONFIG)
+
+    def run_and_delta(workers: int):
+        counters_before = _engine_counter_values()
+        hist_before = _histogram_state("connectivity.flood_fill.cells")
+        run_batch(search, queries, OracleFactory(), workers=workers)
+        counters_after = _engine_counter_values()
+        hist_after = _histogram_state("connectivity.flood_fill.cells")
+        counter_delta = {
+            name: counters_after[name] - counters_before.get(name, 0.0)
+            for name in counters_after
+            if counters_after[name] != counters_before.get(name, 0.0)
+        }
+        if hist_after[0] and hist_before[0]:
+            bucket_delta = tuple(
+                a - b for a, b in zip(hist_after[0], hist_before[0])
+            )
+        else:
+            bucket_delta = hist_after[0]
+        return counter_delta, (
+            bucket_delta,
+            hist_after[1] - hist_before[1],
+            hist_after[2] - hist_before[2],
+        )
+
+    seq_counters, seq_hist = run_and_delta(1)
+    par_counters, par_hist = run_and_delta(4)
+
+    assert seq_counters, "sequential run moved no counters?"
+    assert par_counters == pytest.approx(seq_counters)
+    # Histogram totals: same bucket deltas, same sum, same count.
+    assert par_hist[0] == seq_hist[0]
+    assert par_hist[1] == pytest.approx(seq_hist[1])
+    assert par_hist[2] == seq_hist[2]
+    assert par_hist[2] > 0, "flood fill histogram never observed"
+
+
+def test_traced_parallel_batch_adopts_worker_spans_on_lanes():
+    """``--trace`` on a parallel batch yields one multi-lane trace."""
+    ds = clustered_dataset()
+    queries = np.array([0, 1, 2, 3], dtype=int)
+    start_trace(workload="parity-test")
+    try:
+        run_parallel_batch(
+            ds, FAST_CONFIG, queries, OracleFactory(), workers=2
+        )
+    finally:
+        report = finish_trace()
+    assert report is not None
+    lanes = report.lanes()
+    assert 0 in lanes, "parent spans missing"
+    assert len(lanes) >= 2, f"no worker lanes adopted: {lanes}"
+    worker_steps = [
+        s for s in report.find("engine.step") if s.lane != 0
+    ]
+    assert worker_steps, "no worker engine.step spans in the trace"
+    # Worker subtrees keep their structure (children share the lane).
+    parents = [
+        s
+        for s in report.iter_spans()
+        if s.lane != 0 and s.children
+    ]
+    assert parents
+    assert all(
+        child.lane == parent.lane
+        for parent in parents
+        for child in parent.children
+    )
+
+
+def test_untraced_parallel_batch_ships_no_spans():
+    """Workers only install a task tracer when the parent traces."""
+    ds = clustered_dataset()
+    queries = np.array([0, 1], dtype=int)
+    assert not tracing_enabled()
+    result = run_parallel_batch(
+        ds, FAST_CONFIG, queries, OracleFactory(), workers=2
+    )
+    assert len(result.entries) == 2  # telemetry off-path still works
+
+
+def test_worker_histograms_and_gauges_are_merged():
+    ds = clustered_dataset()
+    queries = np.array([0, 1], dtype=int)
+    _, _, count_before = _histogram_state("connectivity.flood_fill.cells")
+    run_parallel_batch(ds, FAST_CONFIG, queries, OracleFactory(), workers=2)
+    _, _, count_after = _histogram_state("connectivity.flood_fill.cells")
+    assert count_after > count_before, "worker histogram deltas not merged"
+    # The workers' KDE caches stored entries; the gauge last-write
+    # crossed the boundary.
+    gauge = REGISTRY.get("kde.cache.entries")
+    assert gauge is not None and gauge.value >= 1
+
+
+def test_telemetry_opt_out_warns_once_and_drops_data(monkeypatch, caplog):
+    import repro.core.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module, "_TELEMETRY_DROP_WARNED", False)
+    ds = clustered_dataset()
+    queries = np.array([0], dtype=int)
+    runs_before = REGISTRY.counter("search.runs").value
+    with caplog.at_level(logging.WARNING, logger="repro.obs"):
+        run_parallel_batch(
+            ds,
+            FAST_CONFIG,
+            queries,
+            OracleFactory(),
+            workers=1,
+            telemetry=False,
+        )
+        first_warnings = [
+            r for r in caplog.records if "telemetry" in r.getMessage()
+        ]
+        run_parallel_batch(
+            ds,
+            FAST_CONFIG,
+            queries,
+            OracleFactory(),
+            workers=1,
+            telemetry=False,
+        )
+        all_warnings = [
+            r for r in caplog.records if "telemetry" in r.getMessage()
+        ]
+    assert len(first_warnings) == 1, "opt-out did not warn"
+    assert len(all_warnings) == 1, "warning not one-time"
+    # And the worker's counters were genuinely dropped.
+    assert REGISTRY.counter("search.runs").value == runs_before

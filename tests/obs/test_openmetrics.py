@@ -1,0 +1,188 @@
+"""OpenMetrics exposition, metrics files, digest, and the scrape server."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
+from repro.obs.openmetrics import (
+    OPENMETRICS_CONTENT_TYPE,
+    render_metrics_digest,
+    render_openmetrics,
+    start_metrics_server,
+    write_metrics,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("batch.parallel.tasks").inc(8)
+    registry.gauge("kde.cache.entries").set(25)
+    h = registry.histogram("kde.grid.eval_seconds", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        h.observe(value)
+    return registry
+
+
+class TestRendering:
+    def test_counter_total_suffix(self):
+        text = render_openmetrics(_populated_registry())
+        assert "# TYPE repro_batch_parallel_tasks counter" in text
+        assert "repro_batch_parallel_tasks_total 8" in text
+
+    def test_gauge_verbatim(self):
+        text = render_openmetrics(_populated_registry())
+        assert "# TYPE repro_kde_cache_entries gauge" in text
+        assert "repro_kde_cache_entries 25" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = render_openmetrics(_populated_registry())
+        assert 'repro_kde_grid_eval_seconds_bucket{le="0.01"} 1' in text
+        assert 'repro_kde_grid_eval_seconds_bucket{le="0.1"} 2' in text
+        assert 'repro_kde_grid_eval_seconds_bucket{le="1.0"} 3' in text
+        assert 'repro_kde_grid_eval_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_kde_grid_eval_seconds_count 4" in text
+        assert "repro_kde_grid_eval_seconds_sum 5.555" in text
+
+    def test_quantile_gauge_family(self):
+        text = render_openmetrics(_populated_registry())
+        assert "# TYPE repro_kde_grid_eval_seconds_quantile gauge" in text
+        assert 'repro_kde_grid_eval_seconds_quantile{q="0.5"}' in text
+        assert 'repro_kde_grid_eval_seconds_quantile{q="0.99"}' in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(_populated_registry()).endswith("# EOF\n")
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_dotted_names_sanitized(self):
+        text = render_openmetrics(_populated_registry())
+        # No raw dots survive in metric names.
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert "." not in line.split(" ", 1)[0].split("{", 1)[0]
+
+
+class TestWriteMetrics:
+    def test_prom_suffix_writes_text(self, tmp_path):
+        path = write_metrics(
+            tmp_path / "metrics.prom", _populated_registry()
+        )
+        content = path.read_text()
+        assert content.endswith("# EOF\n")
+        assert "repro_batch_parallel_tasks_total" in content
+
+    def test_json_suffix_writes_schema_versioned_document(self, tmp_path):
+        path = write_metrics(
+            tmp_path / "metrics.json", _populated_registry()
+        )
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.metrics"
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+        assert (
+            payload["metrics"]["batch.parallel.tasks"]["value"] == 8.0
+        )
+
+    def test_parent_directories_created(self, tmp_path):
+        path = write_metrics(
+            tmp_path / "deep" / "dir" / "m.prom", MetricsRegistry()
+        )
+        assert path.exists()
+
+
+class TestDigest:
+    def test_cache_line_and_histogram_percentiles(self):
+        registry = MetricsRegistry()
+        registry.counter("kde.cache.hit").inc(15)
+        registry.counter("kde.cache.miss").inc(25)
+        h = registry.histogram("kde.grid.eval_seconds", buckets=(0.01, 0.1))
+        for _ in range(10):
+            h.observe(0.05)
+        digest = render_metrics_digest(registry)
+        assert "kde grid cache: 15 hits / 25 misses" in digest
+        assert "37.5%" in digest
+        assert "kde.grid.eval_seconds: n=10" in digest
+        assert "ms" in digest  # seconds histograms shown in milliseconds
+
+    def test_parallel_counters_shown_when_nonzero(self):
+        registry = MetricsRegistry()
+        registry.counter("batch.parallel.tasks").inc(4)
+        registry.counter("batch.parallel.retries").inc(0)
+        digest = render_metrics_digest(registry)
+        assert "batch.parallel.tasks: 4" in digest
+        assert "batch.parallel.retries" not in digest
+
+    def test_empty_registry_fallback(self):
+        digest = render_metrics_digest(MetricsRegistry())
+        assert "(no instruments populated)" in digest
+
+
+class TestServer:
+    def test_serves_live_registry(self):
+        registry = _populated_registry()
+        server = start_metrics_server(0, registry=registry)
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.headers["Content-Type"] == (
+                    OPENMETRICS_CONTENT_TYPE
+                )
+                body = response.read().decode()
+            assert "repro_batch_parallel_tasks_total 8" in body
+            # Live mode: a later increment shows up on the next scrape.
+            registry.counter("batch.parallel.tasks").inc(1)
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert "repro_batch_parallel_tasks_total 9" in (
+                    response.read().decode()
+                )
+            assert server.request_count == 2
+        finally:
+            server.stop()
+
+    def test_serves_metrics_json(self):
+        server = start_metrics_server(0, registry=_populated_registry())
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics.json"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                payload = json.loads(response.read().decode())
+            assert payload["format"] == "repro.metrics"
+            assert "kde.grid.eval_seconds" in payload["metrics"]
+        finally:
+            server.stop()
+
+    def test_serves_frozen_snapshot(self):
+        payload = _populated_registry().to_dict()
+        server = start_metrics_server(0, snapshot_payload=payload)
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                body = response.read().decode()
+            assert "repro_kde_cache_entries 25" in body
+        finally:
+            server.stop()
+
+    def test_unknown_path_is_404(self):
+        server = start_metrics_server(0, registry=MetricsRegistry())
+        try:
+            url = f"http://127.0.0.1:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5)
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+    def test_registry_and_snapshot_are_exclusive(self):
+        from repro.obs.openmetrics import MetricsServer
+
+        with pytest.raises(ValueError):
+            MetricsServer(
+                ("127.0.0.1", 0),
+                registry=MetricsRegistry(),
+                snapshot_payload={"metrics": {}},
+            )

@@ -1,0 +1,137 @@
+"""Property tests: histogram quantile estimates vs exact sample quantiles.
+
+The estimator interpolates linearly inside the bucket covering the
+target rank, with the bucket edges sharpened by the exact observed
+min/max.  Its documented contract:
+
+* ``q=0`` / ``q=1`` are exact (the tracked extremes);
+* the estimate is always within ``[min, max]`` and finite, including
+  when mass sits in the ``+inf`` overflow bucket;
+* the estimate is monotone in ``q``;
+* the absolute error against the exact sample quantile is bounded by
+  the width of the (sharpened) bucket containing that quantile.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, estimate_quantile
+
+BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+observations = st.lists(
+    st.floats(
+        min_value=0.001,
+        max_value=100.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=60,
+)
+quantile_values = st.floats(min_value=0.0, max_value=1.0)
+
+
+def _fill(values: list[float]) -> Histogram:
+    h = Histogram("h", buckets=BUCKETS)
+    for value in values:
+        h.observe(value)
+    return h
+
+
+def _exact_quantile(values: list[float], q: float) -> float:
+    """The exact sample quantile at the estimator's rank definition."""
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _covering_bucket_width(values: list[float], q: float) -> float:
+    """Width of the sharpened bucket containing the q-quantile rank."""
+    h = _fill(values)
+    target = q * h.count
+    cumulative = 0
+    minimum, maximum = min(values), max(values)
+    for index, count in enumerate(h.counts):
+        cumulative += count
+        if cumulative >= target and count > 0:
+            lower = minimum if index == 0 else BUCKETS[index - 1]
+            upper = maximum if index == len(BUCKETS) else BUCKETS[index]
+            lower = max(lower, minimum)
+            upper = min(upper, maximum)
+            return max(0.0, upper - lower)
+    return 0.0  # pragma: no cover
+
+
+@settings(max_examples=200, deadline=None)
+@given(observations)
+def test_extremes_are_exact(values):
+    h = _fill(values)
+    assert h.quantile(0.0) == pytest.approx(min(values))
+    assert h.quantile(1.0) == pytest.approx(max(values))
+
+
+@settings(max_examples=200, deadline=None)
+@given(observations, quantile_values)
+def test_estimate_is_finite_and_within_range(values, q):
+    estimate = _fill(values).quantile(q)
+    assert math.isfinite(estimate)
+    assert min(values) - 1e-9 <= estimate <= max(values) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(observations, quantile_values, quantile_values)
+def test_monotone_in_q(values, q1, q2):
+    h = _fill(values)
+    lo, hi = sorted((q1, q2))
+    assert h.quantile(lo) <= h.quantile(hi) + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(observations, st.floats(min_value=0.01, max_value=0.99))
+def test_error_bounded_by_covering_bucket_width(values, q):
+    estimate = _fill(values).quantile(q)
+    exact = _exact_quantile(values, q)
+    width = _covering_bucket_width(values, q)
+    assert abs(estimate - exact) <= width + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=51.0, max_value=1000.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_inf_overflow_bucket_stays_finite(values):
+    """All mass beyond the last bound: estimates come from [min, max]."""
+    h = _fill(values)
+    for q in (0.25, 0.5, 0.9, 0.99):
+        estimate = h.quantile(q)
+        assert math.isfinite(estimate)
+        assert min(values) - 1e-9 <= estimate <= max(values) + 1e-9
+
+
+def test_single_observation_every_quantile_is_it():
+    h = _fill([7.5])
+    for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+        assert h.quantile(q) == pytest.approx(7.5)
+
+
+def test_estimate_quantile_empty_is_nan():
+    assert math.isnan(
+        estimate_quantile(BUCKETS, [0] * (len(BUCKETS) + 1), 0, math.inf, -math.inf, 0.5)
+    )
+
+
+def test_estimate_quantile_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        estimate_quantile(BUCKETS, [1] * (len(BUCKETS) + 1), 7, 0.1, 60.0, 1.5)

@@ -1,0 +1,302 @@
+"""Cross-process telemetry snapshots: capture, pickling, and merging.
+
+The :class:`~repro.obs.snapshot.TelemetryCollector` brackets one worker
+task and captures every instrument delta, log record, and (when traced)
+span tree into a picklable :class:`~repro.obs.snapshot.TelemetrySnapshot`
+that the parent folds back via ``MetricsRegistry.merge_snapshot`` and
+``Tracer.adopt``.  These tests exercise the whole shipping pipeline
+in-process (the real spawn-pool path is covered by
+``tests/core/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+
+import pytest
+
+from repro.obs.export import span_from_dict
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, counter_values
+from repro.obs.snapshot import (
+    MAX_SHIPPED_LOG_MESSAGES,
+    TelemetryCollector,
+    TelemetrySnapshot,
+    replay_worker_logs,
+)
+from repro.obs.trace import Tracer, finish_trace, span
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    finish_trace()
+    yield
+    finish_trace()
+
+
+def _registry_with_activity() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("work.items").inc(3)
+    h = registry.histogram("work.seconds", buckets=(1.0, 2.0, 4.0))
+    h.observe(0.5)
+    registry.gauge("work.depth").set(7)
+    return registry
+
+
+class TestCollectorCapture:
+    def test_counter_deltas_only(self):
+        registry = _registry_with_activity()
+        collector = TelemetryCollector(registry=registry)
+        collector.begin()
+        registry.counter("work.items").inc(2)
+        registry.counter("untouched").inc(0)
+        snapshot = collector.finish()
+        assert snapshot.counters == {"work.items": 2.0}
+
+    def test_histogram_delta_carries_buckets_and_extremes(self):
+        registry = _registry_with_activity()
+        collector = TelemetryCollector(registry=registry)
+        collector.begin()
+        h = registry.histogram("work.seconds", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        h.observe(100.0)  # overflow bucket
+        snapshot = collector.finish()
+        delta = snapshot.histograms["work.seconds"]
+        assert delta.buckets == (1.0, 2.0, 4.0)
+        assert delta.counts == (0, 1, 0, 1)
+        assert delta.count == 2
+        assert delta.sum == pytest.approx(101.5)
+        assert delta.max == pytest.approx(100.0)
+
+    def test_untouched_histogram_not_shipped(self):
+        registry = _registry_with_activity()
+        collector = TelemetryCollector(registry=registry)
+        collector.begin()
+        snapshot = collector.finish()
+        assert snapshot.histograms == {}
+        assert snapshot.is_empty()
+
+    def test_gauge_last_write(self):
+        registry = _registry_with_activity()
+        collector = TelemetryCollector(registry=registry)
+        collector.begin()
+        registry.gauge("work.depth").set(11)
+        registry.gauge("work.depth").set(4)
+        snapshot = collector.finish()
+        assert snapshot.gauges == {"work.depth": 4.0}
+
+    def test_unchanged_gauge_not_shipped(self):
+        registry = _registry_with_activity()
+        collector = TelemetryCollector(registry=registry)
+        collector.begin()
+        registry.gauge("work.depth").set(7)  # same reading
+        snapshot = collector.finish()
+        assert snapshot.gauges == {}
+
+    def test_log_counts_and_warning_messages(self, caplog):
+        collector = TelemetryCollector(registry=MetricsRegistry())
+        collector.begin()
+        log = get_logger("core.test")
+        with caplog.at_level(logging.DEBUG, logger="repro.core.test"):
+            log.debug("quiet")
+            log.warning("loud %d", 1)
+        snapshot = collector.finish()
+        assert snapshot.log_counts["WARNING:repro.core.test"] == 1
+        assert snapshot.log_counts["DEBUG:repro.core.test"] == 1
+        # Only WARNING+ text is shipped verbatim.
+        assert snapshot.log_messages == ("WARNING repro.core.test: loud 1",)
+
+    def test_shipped_messages_are_bounded(self):
+        collector = TelemetryCollector(registry=MetricsRegistry())
+        collector.begin()
+        log = get_logger("core.test")
+        for index in range(MAX_SHIPPED_LOG_MESSAGES + 5):
+            log.warning("message %d", index)
+        snapshot = collector.finish()
+        assert len(snapshot.log_messages) == MAX_SHIPPED_LOG_MESSAGES
+        # Counts stay complete even when verbatim text is truncated.
+        assert snapshot.log_counts["WARNING:repro.core.test"] == (
+            MAX_SHIPPED_LOG_MESSAGES + 5
+        )
+
+    def test_trace_capture_when_enabled(self):
+        collector = TelemetryCollector(registry=MetricsRegistry(), trace=True)
+        collector.begin()
+        with span("task.outer", n=1):
+            with span("task.inner"):
+                pass
+        snapshot = collector.finish()
+        roots = snapshot.spans()
+        assert [root.name for root in roots] == ["task.outer"]
+        assert [c.name for c in roots[0].children] == ["task.inner"]
+        assert snapshot.worker_pid == os.getpid()
+
+    def test_no_trace_capture_by_default(self):
+        collector = TelemetryCollector(registry=MetricsRegistry())
+        collector.begin()
+        with span("task.outer"):
+            pass
+        snapshot = collector.finish()
+        assert snapshot.trace_roots == ()
+
+    def test_begin_twice_rejected(self):
+        collector = TelemetryCollector(registry=MetricsRegistry())
+        collector.begin()
+        with pytest.raises(RuntimeError):
+            collector.begin()
+        collector.finish()
+
+    def test_finish_before_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            TelemetryCollector(registry=MetricsRegistry()).finish()
+
+    def test_capture_handler_removed_on_finish(self):
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        collector = TelemetryCollector(registry=MetricsRegistry())
+        collector.begin()
+        collector.finish()
+        assert list(root.handlers) == before
+
+
+class TestSnapshotPickling:
+    def test_round_trip(self):
+        registry = _registry_with_activity()
+        collector = TelemetryCollector(registry=registry, trace=True)
+        collector.begin()
+        registry.counter("work.items").inc(1)
+        registry.histogram("work.seconds", buckets=(1.0, 2.0, 4.0)).observe(3)
+        registry.gauge("work.depth").set(9)
+        get_logger("core.test").warning("shipped")
+        with span("task", n=2):
+            pass
+        snapshot = collector.finish()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone == snapshot
+        assert clone.spans()[0].name == "task"
+
+
+class TestMergeSnapshot:
+    def test_all_instrument_kinds_merge(self):
+        worker = _registry_with_activity()
+        collector = TelemetryCollector(registry=worker)
+        collector.begin()
+        worker.counter("work.items").inc(2)
+        worker.histogram("work.seconds", buckets=(1.0, 2.0, 4.0)).observe(1.5)
+        worker.gauge("work.depth").set(12)
+        snapshot = collector.finish()
+
+        parent = MetricsRegistry()
+        parent.counter("work.items").inc(10)
+        parent.merge_snapshot(snapshot)
+        assert parent.counter("work.items").value == pytest.approx(12)
+        merged = parent.get("work.seconds")
+        assert merged is not None
+        assert merged.count == 1
+        assert merged.counts == (0, 1, 0, 0)
+        # Extremes are the worker's *lifetime* min/max (idempotent
+        # folds), so the pre-task 0.5 observation is reflected too.
+        assert merged.min == pytest.approx(0.5)
+        assert parent.gauge("work.depth").value == pytest.approx(12)
+
+    def test_merge_is_additive_across_tasks(self):
+        parent = MetricsRegistry()
+        for _ in range(3):
+            worker = MetricsRegistry()
+            collector = TelemetryCollector(registry=worker)
+            collector.begin()
+            worker.histogram("h", buckets=(1.0,)).observe(0.5)
+            parent.merge_snapshot(collector.finish())
+        assert parent.get("h").count == 3
+
+    def test_bucket_layout_mismatch_skipped_with_warning(self, caplog):
+        worker = MetricsRegistry()
+        collector = TelemetryCollector(registry=worker)
+        collector.begin()
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        snapshot = collector.finish()
+
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(10.0, 20.0)).observe(15.0)
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            parent.merge_snapshot(snapshot)
+        assert "bucket bounds" in caplog.text
+        # The incompatible delta was dropped, not misfiled.
+        assert parent.get("h").count == 1
+
+    def test_counter_only_snapshot(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(TelemetrySnapshot(counters={"c": 2.0}))
+        assert parent.counter("c").value == pytest.approx(2.0)
+
+
+class TestReplayWorkerLogs:
+    def test_messages_resurface_with_origin(self, caplog):
+        snapshot = TelemetrySnapshot(
+            log_messages=("WARNING repro.core: boom",), worker_pid=1234
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.obs.worker"):
+            replay_worker_logs(snapshot, lane=2)
+        assert "worker lane=2 pid=1234" in caplog.text
+        assert "boom" in caplog.text
+
+    def test_empty_snapshot_is_silent(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.obs.worker"):
+            replay_worker_logs(TelemetrySnapshot())
+        assert caplog.text == ""
+
+
+class TestLaneMergeAndAdopt:
+    def _completed_tree(self) -> "object":
+        worker = Tracer()
+        with worker.activate():
+            with span("worker.task"):
+                with span("worker.inner"):
+                    pass
+        return worker.report().roots[0]
+
+    def test_adopt_relanes_whole_subtree(self):
+        parent = Tracer()
+        with parent.activate():
+            with span("parent.run"):
+                pass
+        parent.adopt(self._completed_tree(), lane=3)
+        report = parent.report()
+        assert report.lanes() == [0, 3]
+        adopted = report.find("worker.inner")[0]
+        assert adopted.lane == 3
+
+    def test_merge_reports_records_lanes(self):
+        a = Tracer()
+        with a.activate():
+            with span("parent.run"):
+                pass
+        b = Tracer()
+        with b.activate():
+            with span("worker.task"):
+                pass
+        merged = a.report().merge(b.report(), lane=1)
+        assert merged.lanes() == [0, 1]
+        assert merged.metadata["lanes"] == [0, 1]
+        assert {root.name for root in merged.roots} == {
+            "parent.run",
+            "worker.task",
+        }
+
+    def test_snapshot_spans_survive_serialization_lane(self):
+        root = self._completed_tree()
+        from repro.obs.export import span_to_dict
+
+        payload = span_to_dict(root)
+        rebuilt = span_from_dict(payload)
+        parent = Tracer()
+        parent.adopt(rebuilt, lane=5)
+        assert parent.report().lanes() == [5]
+
+
+def test_counter_values_still_supported():
+    """The pre-snapshot counter shipping API keeps working."""
+    values = counter_values()
+    assert isinstance(values, dict)

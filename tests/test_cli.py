@@ -1,6 +1,9 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import json
+import threading
+import time
+import urllib.request
 
 import pytest
 
@@ -225,3 +228,172 @@ class TestObservabilityFlags:
         assert "run summary:" in out
         assert "acceptance_rate" in out
         assert "termination_reason" in out
+
+
+class TestMetricsOut:
+    DEMO = ["demo", "--points", "400", "--support", "10", "--seed", "3"]
+
+    def test_json_suffix_writes_metrics_document(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["--metrics-out", str(path)] + self.DEMO) == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {path}" in out
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.metrics"
+        assert "engine.steps" in payload["metrics"]
+
+    def test_prom_suffix_writes_openmetrics_text(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(["--metrics-out", str(path)] + self.DEMO) == 0
+        content = path.read_text()
+        assert content.endswith("# EOF\n")
+        assert "repro_engine_steps_total" in content
+
+    def test_metrics_out_composes_with_trace(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["--metrics-out", str(metrics), "--trace-out", str(trace)]
+            + self.DEMO
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics written to" in out
+        assert "trace written to" in out
+        assert metrics.exists() and trace.exists()
+
+    def test_parser_accepts_flag_after_subcommand(self):
+        args = build_parser().parse_args(
+            ["demo", "--metrics-out", "m.json", "--points", "100"]
+        )
+        assert args.metrics_out == "m.json"
+
+
+class TestBatchCommand:
+    BATCH = ["batch", "--points", "600", "--queries", "2", "--support", "12"]
+
+    def test_prints_metrics_digest(self, capsys):
+        assert main(self.BATCH + ["--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 queries" in out
+        assert "metrics digest:" in out
+        assert "kde grid cache entries:" in out
+
+    def test_chrome_trace_has_one_lane_per_worker(self, capsys, tmp_path):
+        """Acceptance: parallel batch yields a multi-lane chrome trace."""
+        trace_path = tmp_path / "chrome.json"
+        code = main(
+            [
+                "--trace-out",
+                str(trace_path),
+                "--trace-format",
+                "chrome",
+            ]
+            + self.BATCH
+            + ["--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "process lanes" in out
+        payload = json.loads(trace_path.read_text())
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert names[0] == "parent"
+        workers = {pid for pid, name in names.items() if "worker" in name}
+        assert len(workers) == 2
+        event_pids = {
+            e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert workers <= event_pids
+
+
+class TestServeMetrics:
+    def _scrape_in_background(self, monkeypatch):
+        """Patch the server factory so a scraper thread can find the port."""
+        import repro.obs.openmetrics as openmetrics
+
+        real = openmetrics.start_metrics_server
+        servers: list = []
+        bodies: dict = {}
+
+        def capturing(*args, **kwargs):
+            server = real(*args, **kwargs)
+            servers.append(server)
+            return server
+
+        monkeypatch.setattr(openmetrics, "start_metrics_server", capturing)
+
+        def scrape():
+            deadline = time.time() + 10
+            while not servers and time.time() < deadline:
+                time.sleep(0.01)
+            url = f"http://127.0.0.1:{servers[0].port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                bodies["text"] = response.read().decode()
+
+        thread = threading.Thread(target=scrape, daemon=True)
+        thread.start()
+        return thread, bodies
+
+    def test_serves_snapshot_until_max_requests(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "--metrics-out",
+                    str(metrics),
+                    "demo",
+                    "--points",
+                    "400",
+                    "--support",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        thread, bodies = self._scrape_in_background(monkeypatch)
+        code = main(
+            [
+                "serve-metrics",
+                "--port",
+                "0",
+                "--from-json",
+                str(metrics),
+                "--max-requests",
+                "1",
+            ]
+        )
+        thread.join(timeout=10)
+        assert code == 0
+        assert "repro_engine_steps_total" in bodies["text"]
+        assert bodies["text"].endswith("# EOF\n")
+        out = capsys.readouterr().out
+        assert "serving snapshot" in out
+        assert "served 1 request(s)" in out
+
+    def test_rejects_non_metrics_json(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"format": "something-else"}))
+        code = main(["serve-metrics", "--from-json", str(bogus)])
+        assert code == 2
+        assert "repro.metrics" in capsys.readouterr().err
+
+    def test_rejects_missing_file(self, capsys, tmp_path):
+        code = main(
+            ["serve-metrics", "--from-json", str(tmp_path / "missing.json")]
+        )
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-metrics"])
+        assert args.port == 9464
+        assert args.host == "127.0.0.1"
+        assert args.from_json is None
+        assert args.max_requests == 0
