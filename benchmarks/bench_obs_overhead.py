@@ -18,6 +18,10 @@ workload:
 The estimate deliberately over-counts: it charges the *call-site*
 cost (including keyword-dict construction) for every span the traced
 run opened, which upper-bounds what the untraced run actually paid.
+
+A second lane measures the *enabled* cost of the session flight
+recorder (``repro.obs.journal``): an identical engine run with and
+without a journal attached, best-of-3, held to the same 5% bound.
 """
 
 from __future__ import annotations
@@ -27,8 +31,10 @@ import time
 import numpy as np
 
 from repro import InteractiveNNSearch, OracleUser, SearchConfig
+from repro.core.engine import SearchEngine
+from repro.core.search import drive
 from repro.data.synthetic import ProjectedClusterSpec, generate_projected_clusters
-from repro.obs import REGISTRY, span, tracing_enabled
+from repro.obs import REGISTRY, SessionJournal, span, tracing_enabled
 
 from bench_utils import format_table, report, report_phase_breakdown
 
@@ -120,6 +126,70 @@ def test_disabled_instrumentation_overhead(results_dir):
         f"{MAX_OVERHEAD_FRACTION:.0%} "
         f"({spans_opened} spans x {per_span * 1e9:.0f} ns "
         f"vs {plain_seconds:.3f} s workload)"
+    )
+
+
+def test_journal_overhead(results_dir, tmp_path):
+    """Flight-recorder journaling stays within the 5% overhead bound.
+
+    Same workload as the span benchmark, driven through the engine
+    directly so the journaled lane differs only in the ``journal=``
+    argument.  Best-of-3 on both lanes smooths scheduler noise; the
+    journaled run must produce the identical neighbor set (journaling
+    is pure observation) and cost less than
+    :data:`MAX_OVERHEAD_FRACTION` extra wall time.
+    """
+    ds, qi, config = _workload()
+
+    def run(journal=None):
+        user = OracleUser(ds, qi)
+        engine = SearchEngine(ds, config, journal=journal)
+        start = time.perf_counter()
+        result = drive(engine, ds.points[qi], user)
+        elapsed = time.perf_counter() - start
+        if journal is not None:
+            journal.close()
+        return result, elapsed
+
+    run()  # warm-up: numpy caches, allocator pools, KDE grid cache
+
+    plain_times, journaled_times = [], []
+    plain_result = journaled_result = None
+    for trial in range(3):
+        plain_result, seconds = run()
+        plain_times.append(seconds)
+        journal = SessionJournal.create(
+            tmp_path / f"bench-journal-{trial}.jsonl"
+        )
+        journaled_result, seconds = run(journal)
+        journaled_times.append(seconds)
+
+    assert np.array_equal(
+        plain_result.neighbor_indices, journaled_result.neighbor_indices
+    ), "journaling must not perturb the search outcome"
+
+    plain_best = min(plain_times)
+    journaled_best = min(journaled_times)
+    overhead = (journaled_best - plain_best) / plain_best
+
+    report(
+        "journal_overhead",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["workload", "1500 pts, 12 dims, 2 major iterations"],
+                ["plain best-of-3 (s)", f"{plain_best:.3f}"],
+                ["journaled best-of-3 (s)", f"{journaled_best:.3f}"],
+                ["overhead fraction", f"{overhead:+.4%}"],
+                ["bound", f"{MAX_OVERHEAD_FRACTION:.0%}"],
+            ],
+        ),
+    )
+
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"journaling overhead {overhead:.2%} exceeds "
+        f"{MAX_OVERHEAD_FRACTION:.0%} "
+        f"({plain_best:.3f}s plain vs {journaled_best:.3f}s journaled)"
     )
 
 

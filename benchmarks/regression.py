@@ -26,8 +26,10 @@ Workload matrix (``--quick`` halves the sizes and drops a cell):
 * ``sequential_nocache`` — sequential with the KDE grid cache disabled
 
 Each cell records wall seconds, queries/second, the KDE cache hit rate,
-and the per-phase trace aggregate (count, wall/cpu/self totals) for the
-key pipeline phases; the document also carries peak RSS (self and
+the deterministic work counters (``connectivity.flood_fills``,
+``engine.steps``, and the derived fills-per-step ratio), and the
+per-phase trace aggregate (count, wall/cpu/self totals) for the key
+pipeline phases; the document also carries peak RSS (self and
 children) from :func:`resource.getrusage`.
 
 Wall-clock comparisons across *different machines* are meaningless —
@@ -141,6 +143,10 @@ def _run_cell(
         "kde.cache.miss", 0.0
     )
     lookups = hits + misses
+    flood_fills = after.get("connectivity.flood_fills", 0.0) - before.get(
+        "connectivity.flood_fills", 0.0
+    )
+    steps = after.get("engine.steps", 0.0) - before.get("engine.steps", 0.0)
     aggregate = tracer.report().aggregate()
     phases = {
         name: {
@@ -160,6 +166,11 @@ def _run_cell(
             "hits": int(hits),
             "misses": int(misses),
             "hit_rate": hits / lookups if lookups else 0.0,
+        },
+        "counters": {
+            "flood_fills": int(flood_fills),
+            "engine_steps": int(steps),
+            "fills_per_step": flood_fills / steps if steps else 0.0,
         },
         "phases": phases,
     }
@@ -316,6 +327,17 @@ def compare(
             float(cur_cell["cache"]["hit_rate"]),
             "rate",
         )
+        base_counters = base_cell.get("counters", {})
+        cur_counters = cur_cell.get("counters", {})
+        for name in ("flood_fills", "engine_steps"):
+            if name in base_counters and name in cur_counters:
+                add(
+                    workload,
+                    f"counters.{name}",
+                    float(base_counters[name]),
+                    float(cur_counters[name]),
+                    "count",
+                )
         base_phases = base_cell.get("phases", {})
         cur_phases = cur_cell.get("phases", {})
         for phase in sorted(set(base_phases) & set(cur_phases)):

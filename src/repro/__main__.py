@@ -14,7 +14,14 @@ Commands
     Print version and configuration defaults.
 ``serve-metrics``
     Expose the metrics registry (or a saved ``metrics.json``) on a
-    local OpenMetrics/Prometheus scrape endpoint.
+    local OpenMetrics/Prometheus scrape endpoint (``/metrics``,
+    ``/metrics.json``, ``/sessions``, ``/healthz``).
+``replay``
+    Re-execute a session journal (``demo --journal`` / ``batch
+    --journal-dir``) and diff live state digests against the recorded
+    ones; exits 1 on the first divergent record, 2 on a corrupt file.
+``inspect``
+    Print a session journal's human-readable timeline and summary.
 
 Observability flags (accepted before or after the subcommand)
 -------------------------------------------------------------
@@ -74,58 +81,99 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         natural_neighbors,
         retrieval_quality,
     )
-    from repro.exceptions import CheckpointError
+    from repro.exceptions import CheckpointError, JournalError
 
     data = case1_dataset(np.random.default_rng(args.seed), n_points=args.points)
     dataset = data.dataset
     query_index = int(dataset.cluster_indices(0)[0])
     user = OracleUser(dataset, query_index)
     config = SearchConfig(support=args.support)
+    provenance = {"kind": "case1", "seed": args.seed, "n_points": args.points}
 
-    if args.resume:
-        from repro.core.search import drive_pending
-        from repro.core.serialization import load_checkpoint, resume_engine
+    journal = None
+    try:
+        if args.resume:
+            from repro.core.search import drive_pending
+            from repro.core.serialization import load_checkpoint, resume_engine
 
-        try:
-            checkpoint = load_checkpoint(args.resume)
-            engine, event = resume_engine(checkpoint, dataset)
-        except CheckpointError as exc:
-            print(f"cannot resume: {exc}", file=sys.stderr)
-            return 2
-        print(
-            f"resumed from {args.resume} at major={event.major_index} "
-            f"minor={event.minor_index} (step {event.step})"
-        )
-        result = drive_pending(engine, event, user)
-    elif args.checkpoint:
-        from repro.core.engine import SearchEngine, ViewRequest
-        from repro.core.serialization import save_checkpoint
-        from repro.interaction.base import validate_decision
+            try:
+                checkpoint = load_checkpoint(args.resume)
+                if args.journal:
+                    from repro.obs.journal import SessionJournal
 
-        engine = SearchEngine(dataset, config)
-        event = engine.start(dataset.points[query_index])
-        while isinstance(event, ViewRequest):
-            if event.step >= args.checkpoint_step:
-                path = save_checkpoint(engine, args.checkpoint)
-                engine.close()
-                print(
-                    f"checkpoint written to {path} (major={event.major_index} "
-                    f"minor={event.minor_index}, step {event.step})"
+                    cursor_info = checkpoint.get("journal")
+                    if cursor_info is None:
+                        print(
+                            "cannot resume with --journal: the checkpoint "
+                            "was written without one",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    journal = SessionJournal.resume(
+                        args.journal, cursor_info["cursor"]
+                    )
+                engine, event = resume_engine(
+                    checkpoint, dataset, journal=journal
                 )
-                print(
-                    "finish the run with: python -m repro demo "
-                    f"--points {args.points} --support {args.support} "
-                    f"--seed {args.seed} --resume {path}"
+            except (CheckpointError, JournalError) as exc:
+                print(f"cannot resume: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"resumed from {args.resume} at major={event.major_index} "
+                f"minor={event.minor_index} (step {event.step})"
+            )
+            result = drive_pending(engine, event, user)
+        elif args.checkpoint:
+            from repro.core.engine import SearchEngine, ViewRequest
+            from repro.core.serialization import save_checkpoint
+            from repro.interaction.base import validate_decision
+
+            journal = _open_cli_journal(args, provenance)
+            engine = SearchEngine(dataset, config, journal=journal)
+            event = engine.start(dataset.points[query_index])
+            while isinstance(event, ViewRequest):
+                if event.step >= args.checkpoint_step:
+                    path = save_checkpoint(engine, args.checkpoint)
+                    engine.close()
+                    print(
+                        f"checkpoint written to {path} "
+                        f"(major={event.major_index} "
+                        f"minor={event.minor_index}, step {event.step})"
+                    )
+                    resume_cmd = (
+                        "finish the run with: python -m repro demo "
+                        f"--points {args.points} --support {args.support} "
+                        f"--seed {args.seed} --resume {path}"
+                    )
+                    if args.journal:
+                        resume_cmd += f" --journal {args.journal}"
+                    print(resume_cmd)
+                    return 0
+                decision = validate_decision(
+                    user.review_view(event.view), event.view
                 )
-                return 0
-            decision = validate_decision(user.review_view(event.view), event.view)
-            event = engine.submit(decision)
-        result = event
-        print("run finished before the checkpoint step was reached")
-    else:
-        result = InteractiveNNSearch(dataset, config).run(
-            dataset.points[query_index], user
-        )
+                event = engine.submit(decision)
+            result = event
+            print("run finished before the checkpoint step was reached")
+        elif args.journal:
+            from repro.core.engine import SearchEngine
+            from repro.core.search import drive
+
+            journal = _open_cli_journal(args, provenance)
+            result = drive(
+                SearchEngine(dataset, config, journal=journal),
+                dataset.points[query_index],
+                user,
+            )
+        else:
+            result = InteractiveNNSearch(dataset, config).run(
+                dataset.points[query_index], user
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.journal:
+        print(f"session journal written to {args.journal}")
     neighbors = natural_neighbors(
         result.probabilities, iterations=len(result.session.major_records)
     )
@@ -141,6 +189,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         path = save_result(result, args.save)
         print(f"session archived to {path}")
     return 0
+
+
+def _open_cli_journal(args: argparse.Namespace, provenance: dict):
+    """Create the demo's flight recorder when ``--journal`` was given."""
+    if not args.journal:
+        return None
+    from repro.obs.journal import SessionJournal
+
+    return SessionJournal.create(args.journal, provenance=provenance)
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -260,10 +317,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_major_iterations=2,
         projection_restarts=2,
     )
+    provenance = {
+        "kind": "projected_clusters",
+        "seed": args.seed,
+        "spec": {
+            "n_points": args.points,
+            "dim": 10,
+            "n_clusters": 3,
+            "cluster_dim": 4,
+            "axis_parallel": True,
+            "noise_fraction": 0.1,
+        },
+    }
     search = InteractiveNNSearch(dataset, config)
     start = time.perf_counter()
     result = run_batch(
-        search, queries, OracleFactory(), workers=args.workers
+        search,
+        queries,
+        OracleFactory(),
+        workers=args.workers,
+        journal_dir=args.journal_dir or None,
+        journal_provenance=provenance if args.journal_dir else None,
     )
     elapsed = time.perf_counter() - start
     print(
@@ -284,6 +358,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.workers == 1 and cache is not None:
         stats = cache.stats()
         print(f"  kde grid cache entries:    {stats['entries']}")
+    if args.journal_dir:
+        print(f"  session journals:          {args.journal_dir}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute a journaled session and diff it against the record.
+
+    Exit codes: 0 clean, 1 divergence found, 2 unusable journal.
+    """
+    from repro.exceptions import JournalError
+    from repro.obs.replay import replay_journal
+
+    try:
+        report = replay_journal(args.journal)
+    except JournalError as exc:
+        print(f"cannot replay: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Print a journal's validated timeline and summary statistics."""
+    from repro.exceptions import JournalError
+    from repro.obs.replay import inspect_journal
+
+    try:
+        print(inspect_journal(args.journal))
+    except JournalError as exc:
+        print(f"cannot inspect: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -447,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a run from a checkpoint written by --checkpoint "
         "(dataset flags must match the original invocation)",
     )
+    demo.add_argument(
+        "--journal",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="record a session flight-recorder journal at PATH (verify "
+        "it later with: python -m repro replay PATH); with --resume, "
+        "append to the journal the checkpoint was recorded in",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     diag = sub.add_parser(
@@ -480,7 +595,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = in-process; N>1 = spawn pool with "
         "shared-memory dataset publication)",
     )
+    batch.add_argument(
+        "--journal-dir",
+        type=str,
+        default="",
+        metavar="DIR",
+        help="write one session journal per query into DIR "
+        "(session-<pos>-q<index>.jsonl; workers write into the same "
+        "directory)",
+    )
     batch.set_defaults(func=_cmd_batch)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a session journal and diff state digests",
+        parents=[common],
+    )
+    replay.add_argument(
+        "journal", type=str, help="journal file written with --journal"
+    )
+    replay.set_defaults(func=_cmd_replay)
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="print a session journal's timeline and summary",
+        parents=[common],
+    )
+    inspect.add_argument(
+        "journal", type=str, help="journal file written with --journal"
+    )
+    inspect.set_defaults(func=_cmd_inspect)
 
     info = sub.add_parser("info", help="version and defaults", parents=[common])
     info.set_defaults(func=_cmd_info)

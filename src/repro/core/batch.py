@@ -136,6 +136,36 @@ class _Slot:
     event: ViewRequest
 
 
+def journal_filename(position: int, query_index: int) -> str:
+    """Canonical per-query journal filename inside a ``journal_dir``."""
+    return f"session-{position:04d}-q{query_index}.jsonl"
+
+
+def _open_journal(
+    journal_dir: str | None,
+    provenance: dict | None,
+    position: int,
+    query_index: int,
+):
+    """Create one per-query journal, or ``None`` when journaling is off."""
+    if journal_dir is None:
+        return None
+    from pathlib import Path
+
+    from repro.obs.journal import SessionJournal
+
+    return SessionJournal.create(
+        Path(journal_dir) / journal_filename(position, query_index),
+        provenance=provenance,
+    )
+
+
+def _close_journal(engine: SearchEngine) -> None:
+    """Close an engine's journal once its run has been finalized."""
+    if engine.journal is not None:
+        engine.journal.close()
+
+
 def _finalize_entry(
     query_index: int, result: SearchResult
 ) -> BatchEntry:
@@ -166,6 +196,8 @@ def run_batch(
     *,
     max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
     workers: int = 1,
+    journal_dir: str | None = None,
+    journal_provenance: dict | None = None,
 ) -> BatchResult:
     """Run the interactive search for every query index.
 
@@ -194,6 +226,15 @@ def run_batch(
         :func:`repro.core.parallel.run_parallel_batch`, sharing the
         point matrix and dataset statistics across workers.  Results
         are byte-identical for every value.
+    journal_dir:
+        Optional directory for per-query session journals (see
+        :class:`repro.obs.journal.SessionJournal`).  Each query writes
+        ``session-<position>-q<index>.jsonl``; with ``workers > 1``
+        the worker processes write into the same directory, so the
+        journals are collected there like telemetry snapshots.
+    journal_provenance:
+        Dataset-provenance record stored in each journal header so
+        ``python -m repro replay`` can rebuild the dataset.
 
     Returns
     -------
@@ -224,6 +265,8 @@ def run_batch(
             indices,
             user_factory,
             workers=workers,
+            journal_dir=journal_dir,
+            journal_provenance=journal_provenance,
         )
     shared = DatasetPrecomputation(dataset)
     entries: list[BatchEntry | None] = [None] * indices.size
@@ -242,6 +285,9 @@ def run_batch(
                 search.config,
                 precomputed=shared,
                 structural_spans=False,
+                journal=_open_journal(
+                    journal_dir, journal_provenance, position, query_index
+                ),
             )
             user = build_user(user_factory, dataset, query_index)
             with span("batch.start", query=query_index):
@@ -258,6 +304,7 @@ def run_batch(
                 )
             else:  # degenerate run: terminated without any decision
                 entries[position] = _finalize_entry(query_index, event)
+                _close_journal(engine)
 
     with span(
         "search.batch",
@@ -285,6 +332,7 @@ def run_batch(
                     entries[slot.position] = _finalize_entry(
                         slot.query_index, outcome
                     )
+                    _close_journal(slot.engine)
                     slots.remove(slot)
             _launch()
     return BatchResult(entries=tuple(entries))  # type: ignore[arg-type]

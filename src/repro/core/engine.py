@@ -62,7 +62,8 @@ from repro.exceptions import ConfigurationError, DimensionalityError, EngineStat
 from repro.geometry.subspace import Subspace
 from repro.interaction.base import ProjectionView, UserDecision, validate_decision
 from repro.obs.logging import get_logger
-from repro.obs.metrics import counter
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, counter, histogram
+from repro.obs.registry import SESSIONS
 from repro.obs.trace import NULL_SPAN, TraceReport, span
 
 _log = get_logger("core.engine")
@@ -78,6 +79,15 @@ _PRUNED = counter("search.pruned_points")
 # Engine-specific counters (see docs/ENGINE.md).
 _STEPS = counter("engine.steps")
 _RESUMES = counter("engine.resumes")
+# Flood fills executed between a view being emitted and its decision
+# arriving — almost entirely the simulated users' τ-sweep re-flooding
+# the same grid (see ROADMAP item 2).  The shared counter is the one
+# repro.density.connectivity increments; the histogram attributes its
+# growth to individual decision steps.
+_FLOOD_FILLS = counter("connectivity.flood_fills")
+_FILLS_PER_STEP = histogram(
+    "connectivity.flood_fill.calls_per_step", DEFAULT_SIZE_BUCKETS
+)
 
 
 class TerminationReason(Enum):
@@ -361,6 +371,13 @@ class SearchEngine:
         engines sharing one thread) must pass ``False`` — held-open
         spans from different engines would otherwise nest into each
         other — and wrap their own per-step spans instead.
+    journal:
+        Optional :class:`~repro.obs.journal.SessionJournal` flight
+        recorder.  When given, the engine appends one record per
+        transition (session start, view, decision, resume, result);
+        checkpoints embed the journal cursor so a resumed run appends
+        to the same file.  ``None`` (default) records nothing and
+        costs nothing beyond a branch per transition.
     """
 
     def __init__(
@@ -370,6 +387,7 @@ class SearchEngine:
         *,
         precomputed: DatasetPrecomputation | None = None,
         structural_spans: bool = True,
+        journal: Any = None,
     ) -> None:
         if precomputed is not None and precomputed.dataset is not dataset:
             raise ConfigurationError(
@@ -379,6 +397,9 @@ class SearchEngine:
         self._config = config or SearchConfig()
         self._shared = precomputed or DatasetPrecomputation(dataset)
         self._structural = structural_spans
+        self._journal = journal
+        self._session_id: str | None = None
+        self._fills_at_view = 0
         self._phase = EnginePhase.CREATED
         self._state: EngineState | None = None
         self._result: SearchResult | None = None
@@ -437,6 +458,16 @@ class SearchEngine:
         """The view awaiting a decision, if any."""
         return self._pending_view
 
+    @property
+    def journal(self) -> Any:
+        """The attached flight recorder, if any."""
+        return self._journal
+
+    @property
+    def session_id(self) -> str | None:
+        """This run's id in :data:`repro.obs.registry.SESSIONS`."""
+        return self._session_id
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -488,6 +519,21 @@ class SearchEngine:
             rng=np.random.default_rng(config.rng_seed),
         )
         _RUNS.inc()
+        self._session_id = SESSIONS.register(
+            dataset=self._dataset.name, n_points=n, dim=d
+        )
+        if self._journal is not None:
+            # The RNG bit-state is still pristine here (randomness is
+            # only consumed inside _compute_view), so the recorded
+            # digest identifies the run's full starting conditions.
+            self._journal.record_session_start(
+                dataset=self._dataset,
+                config=config,
+                query=q,
+                rng_state=self._state.rng.bit_generator.state,
+                support=support,
+                views_per_major=views_per_major,
+            )
         _log.info(
             "search start: n=%d d=%d support=%d views/major=%d",
             n,
@@ -524,9 +570,19 @@ class SearchEngine:
         _STEPS.inc()
         if decision.accepted:
             _ACCEPTED.inc()
+        # Flood fills since the view was emitted: the decision window,
+        # i.e. the user's τ-sweep re-flooding (quantified ahead of
+        # ROADMAP item 2's incremental connectivity work).
+        fills_this_step = int(_FLOOD_FILLS.value - self._fills_at_view)
+        _FILLS_PER_STEP.observe(fills_this_step)
+        if self._journal is not None:
+            self._journal.record_decision(decision, view, step=state.step)
+        if self._session_id is not None:
+            SESSIONS.note_decision(self._session_id)
         self._minor_span.set(
             accepted=decision.accepted,
             selected=decision.selected_count,
+            flood_fills=fills_this_step,
         )
         state.preferences.record(
             state.live,
@@ -562,10 +618,15 @@ class SearchEngine:
 
         Finishing normally closes spans; call this when dropping an
         unfinished engine while tracing so the span tree stays balanced.
+        An unfinished session is marked *suspended* in the session
+        registry (checkpointed or abandoned — either way, no longer
+        advancing in this process).
         """
         self._close_minor_span()
         self._close_major_span()
         self._close_run_span()
+        if self._session_id is not None and not self.finished:
+            SESSIONS.suspend(self._session_id)
 
     # ------------------------------------------------------------------
     # The state machine proper
@@ -644,12 +705,18 @@ class SearchEngine:
         self._pending_view = view
         self._phase = EnginePhase.AWAITING_DECISION
         state.step += 1
-        return ViewRequest(
+        request = ViewRequest(
             view=view,
             major_index=state.major,
             minor_index=state.minor,
             step=state.step,
         )
+        self._fills_at_view = int(_FLOOD_FILLS.value)
+        if self._journal is not None:
+            self._journal.record_view(request, state)
+        if self._session_id is not None:
+            SESSIONS.note_view(self._session_id, step=state.step)
+        return request
 
     def _finish_major(self) -> bool:
         """Statistics, accumulation, pruning, audit; returns *stop*."""
@@ -743,6 +810,10 @@ class SearchEngine:
             reason=state.reason,
         )
         self._phase = EnginePhase.FINISHED
+        if self._journal is not None:
+            self._journal.record_result(self._result)
+        if self._session_id is not None:
+            SESSIONS.finish(self._session_id, reason=state.reason.value)
         return self._result
 
     def _prune(self, live: np.ndarray, preferences: PreferenceCounter) -> np.ndarray:
@@ -775,6 +846,14 @@ class SearchEngine:
         self._state = state
         self._points = self._shared.points_for(state.live)
         _RESUMES.inc()
+        self._session_id = SESSIONS.register(
+            dataset=self._dataset.name,
+            n_points=self._dataset.size,
+            dim=self._dataset.dim,
+            resumed=True,
+        )
+        if self._journal is not None:
+            self._journal.record_resume(state)
         _log.info(
             "engine resume: major=%d minor=%d live=%d",
             state.major,

@@ -57,6 +57,7 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -230,6 +231,8 @@ def _worker_init(
     factory_blob: bytes,
     telemetry: bool = True,
     trace: bool = False,
+    journal_dir: str | None = None,
+    journal_provenance: dict[str, Any] | None = None,
 ) -> None:
     """Pool initializer: map the shared points, rebuild the dataset.
 
@@ -262,6 +265,8 @@ def _worker_init(
             "user_factory": pickle.loads(factory_blob),
             "telemetry": bool(telemetry),
             "trace": bool(trace),
+            "journal_dir": journal_dir,
+            "journal_provenance": journal_provenance,
         }
     )
 
@@ -293,10 +298,27 @@ def _drive_worker_engine(
         collector = TelemetryCollector(trace=env.get("trace", False))
         collector.begin()
     snapshot: TelemetrySnapshot | None = None
+    journal = None
+    if env.get("journal_dir"):
+        # Per-query journal files land directly in the shared directory
+        # (the parallel analogue of shipping TelemetrySnapshots home).
+        # A retried query recreates its file, so a crash mid-write
+        # cannot leave a half-journal behind.
+        from repro.core.batch import journal_filename
+        from repro.obs.journal import SessionJournal
+
+        journal = SessionJournal.create(
+            Path(env["journal_dir"]) / journal_filename(position, query_index),
+            provenance=env.get("journal_provenance"),
+        )
     try:
         user = build_user(env["user_factory"], dataset, query_index)
         engine = SearchEngine(
-            dataset, config, precomputed=shared, structural_spans=False
+            dataset,
+            config,
+            precomputed=shared,
+            structural_spans=False,
+            journal=journal,
         )
         event = engine.start(dataset.points[query_index])
         tripped = not checkpoint_round_trip
@@ -310,7 +332,11 @@ def _drive_worker_engine(
                 payload = json.loads(json.dumps(checkpoint_to_dict(engine)))
                 engine.close()
                 engine, event = resume_engine(
-                    payload, dataset, precomputed=shared, structural_spans=False
+                    payload,
+                    dataset,
+                    precomputed=shared,
+                    structural_spans=False,
+                    journal=journal,
                 )
                 tripped = True
                 continue
@@ -320,6 +346,8 @@ def _drive_worker_engine(
             event = engine.submit(decision)
         entry = _finalize_entry(query_index, event)
     finally:
+        if journal is not None:
+            journal.close()
         if collector is not None:
             snapshot = collector.finish()
     return position, entry, snapshot
@@ -352,6 +380,8 @@ def run_parallel_batch(
     checkpoint_round_trip: bool = False,
     precomputed: DatasetPrecomputation | None = None,
     telemetry: bool = True,
+    journal_dir: str | None = None,
+    journal_provenance: dict[str, Any] | None = None,
 ):
     """Run every query on a spawn process pool; results in input order.
 
@@ -385,6 +415,10 @@ def run_parallel_batch(
         here — worker span trees are adopted into it on per-worker
         lanes.  ``False`` drops all of that (a one-time WARNING says
         so).
+    journal_dir, journal_provenance:
+        Optional per-query session journaling (see
+        :func:`repro.core.batch.run_batch`); every worker writes its
+        queries' journal files into the shared *journal_dir*.
 
     Returns
     -------
@@ -430,6 +464,8 @@ def run_parallel_batch(
                         factory_blob,
                         telemetry,
                         trace_workers,
+                        journal_dir,
+                        journal_provenance,
                     ),
                 )
                 try:

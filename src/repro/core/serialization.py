@@ -380,6 +380,17 @@ def checkpoint_to_dict(engine: SearchEngine) -> dict[str, Any]:
                 "session": _session_to_lossless_dict(state.session),
             },
         }
+        journal = engine.journal
+        if journal is not None:
+            # Record the suspension in the journal *first*, then pin
+            # the post-record append cursor in the checkpoint: resuming
+            # verifies the file still ends exactly there and appends —
+            # a resumed session extends its history, never rewrites it.
+            journal.record_checkpoint(state)
+            payload["journal"] = {
+                "path": str(journal.path),
+                "cursor": journal.cursor(),
+            }
         _CHECKPOINTS.inc()
         return payload
 
@@ -422,6 +433,7 @@ def resume_engine(
     *,
     precomputed: Any = None,
     structural_spans: bool = True,
+    journal: Any = None,
 ) -> tuple[SearchEngine, ViewRequest]:
     """Rebuild a suspended engine from a checkpoint dictionary.
 
@@ -438,6 +450,12 @@ def resume_engine(
         Optional shared :class:`~repro.core.engine.DatasetPrecomputation`.
     structural_spans:
         Forwarded to :class:`~repro.core.engine.SearchEngine`.
+    journal:
+        Optional :class:`~repro.obs.journal.SessionJournal` to continue
+        writing into — typically reopened from the checkpoint's
+        ``journal.cursor`` via :meth:`SessionJournal.resume` so the
+        resumed run appends to the original file.  The engine records a
+        ``resume`` event (and re-records the recomputed pending view).
 
     Returns
     -------
@@ -495,6 +513,7 @@ def resume_engine(
         config,
         precomputed=precomputed,
         structural_spans=structural_spans,
+        journal=journal,
     )
     event = engine._restore(state)
     return engine, event

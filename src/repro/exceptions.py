@@ -44,3 +44,9 @@ class EngineStateError(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint is malformed, incompatible, or does not match the
     dataset it is being resumed against."""
+
+
+class JournalError(ReproError):
+    """A session journal is truncated, corrupt, of an unsupported
+    schema version, or inconsistent with the checkpoint cursor it is
+    being appended after."""

@@ -16,7 +16,15 @@ Three cooperating pieces:
   gauge deltas, log summaries).
 * :mod:`repro.obs.openmetrics` — Prometheus/OpenMetrics text
   exposition, ``metrics.json`` writer, end-of-run digest, and an
-  opt-in stdlib scrape endpoint.
+  opt-in stdlib scrape endpoint (``/metrics``, ``/sessions``,
+  ``/healthz``).
+* :mod:`repro.obs.journal` — the session flight recorder: an
+  append-only, hash-chained JSONL journal of engine transitions.
+* :mod:`repro.obs.replay` — deterministic replay/diff and timeline
+  inspection of recorded journals.
+* :mod:`repro.obs.registry` — the process-wide
+  :class:`~repro.obs.registry.SessionRegistry` of live / suspended /
+  finished engine sessions.
 
 Quick start::
 
@@ -40,6 +48,14 @@ from repro.obs.export import (
     to_chrome_trace,
     trace_to_dict,
 )
+from repro.obs.journal import (
+    JOURNAL_FORMAT,
+    JOURNAL_SCHEMA_VERSION,
+    JournalRecord,
+    SessionJournal,
+    journal_summary,
+    read_journal,
+)
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
@@ -61,6 +77,13 @@ from repro.obs.openmetrics import (
     render_openmetrics,
     start_metrics_server,
     write_metrics,
+)
+from repro.obs.registry import SESSIONS, SessionInfo, SessionRegistry
+from repro.obs.replay import (
+    Divergence,
+    ReplayReport,
+    inspect_journal,
+    replay_journal,
 )
 from repro.obs.snapshot import (
     HistogramDelta,
@@ -128,4 +151,20 @@ __all__ = [
     # logging
     "get_logger",
     "configure_logging",
+    # journal (session flight recorder)
+    "SessionJournal",
+    "JournalRecord",
+    "read_journal",
+    "journal_summary",
+    "JOURNAL_FORMAT",
+    "JOURNAL_SCHEMA_VERSION",
+    # replay
+    "replay_journal",
+    "inspect_journal",
+    "ReplayReport",
+    "Divergence",
+    # session registry
+    "SESSIONS",
+    "SessionRegistry",
+    "SessionInfo",
 ]

@@ -33,6 +33,7 @@ import json
 import math
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Iterable
@@ -44,6 +45,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     estimate_quantile,
 )
+from repro.obs.registry import SESSIONS
 
 __all__ = [
     "render_openmetrics",
@@ -288,7 +290,7 @@ def render_metrics_digest(
 # Scrape endpoint
 # ----------------------------------------------------------------------
 class _MetricsHandler(BaseHTTPRequestHandler):
-    """Serves ``/metrics`` (text) and ``/metrics.json`` (JSON)."""
+    """Serves ``/metrics``, ``/metrics.json``, ``/sessions``, ``/healthz``."""
 
     server: "MetricsServer"
 
@@ -302,8 +304,22 @@ class _MetricsHandler(BaseHTTPRequestHandler):
                 self.server.payload(), indent=2, sort_keys=True
             ).encode("utf-8")
             content_type = "application/json; charset=utf-8"
+        elif path == "/healthz":
+            body = json.dumps(
+                self.server.health_payload(), indent=2, sort_keys=True
+            ).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
+        elif path == "/sessions":
+            body = json.dumps(
+                self.server.sessions_payload(), indent=2, sort_keys=True
+            ).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         else:
-            self.send_error(404, "unknown path (try /metrics)")
+            self.send_error(
+                404,
+                "unknown path (try /metrics, /metrics.json, /sessions, "
+                "/healthz)",
+            )
             return
         self.send_response(200)
         self.send_header("Content-Type", content_type)
@@ -342,6 +358,7 @@ class MetricsServer(ThreadingHTTPServer):
         )
         self._snapshot_payload = snapshot_payload
         self._prefix = prefix
+        self._started = time.monotonic()
         self.request_count = 0
         self._thread: threading.Thread | None = None
 
@@ -363,10 +380,44 @@ class MetricsServer(ThreadingHTTPServer):
         }
 
     def render_text(self) -> str:
-        """The OpenMetrics text currently served."""
-        return render_openmetrics_snapshot(
+        """The OpenMetrics text currently served.
+
+        When serving the live registry, per-session labeled gauge
+        series from :data:`~repro.obs.registry.SESSIONS` are appended
+        before the ``# EOF`` terminator; a frozen ``--from-json``
+        snapshot belongs to another process, whose sessions are gone,
+        so nothing is appended there.
+        """
+        text = render_openmetrics_snapshot(
             self._snapshot(), prefix=self._prefix
         )
+        if self._snapshot_payload is not None:
+            return text
+        session_lines = SESSIONS.openmetrics_lines(prefix=self._prefix)
+        if not session_lines:
+            return text
+        eof = "# EOF\n"
+        assert text.endswith(eof)
+        return text[: -len(eof)] + "\n".join(session_lines) + "\n" + eof
+
+    def health_payload(self) -> dict[str, Any]:
+        """The ``/healthz`` document (liveness + schema identity)."""
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "source": (
+                "snapshot" if self._snapshot_payload is not None else "live"
+            ),
+            "sessions": SESSIONS.counts(),
+        }
+
+    def sessions_payload(self) -> dict[str, Any]:
+        """The ``/sessions`` document (per-session introspection)."""
+        return {
+            "counts": SESSIONS.counts(),
+            "sessions": SESSIONS.snapshot(),
+        }
 
     # -- lifecycle ------------------------------------------------------
     @property

@@ -1,0 +1,64 @@
+"""Regenerate the committed golden session journal.
+
+``session_journal_golden.jsonl`` is a flight-recorder journal of one
+small deterministic demo-style run (the paper's Case-1 workload, seed
+7, oracle user).  CI and the test suite replay it on every run
+(``python -m repro replay tests/golden/session_journal_golden.jsonl``),
+so any behavioral drift in the engine — projection choice, density
+digests, RNG consumption, pruning, termination — shows up as a
+divergence at an exact sequence number.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/make_session_journal.py
+
+Only rerun this script deliberately: committing a regenerated journal
+re-baselines the behavioral record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.engine import SearchEngine
+from repro.core.search import drive
+from repro.data.synthetic import case1_dataset
+from repro.interaction.oracle import OracleUser
+from repro.obs.journal import SessionJournal
+from repro.obs.replay import replay_journal
+
+OUT = Path(__file__).with_name("session_journal_golden.jsonl")
+
+SEED = 7
+N_POINTS = 500
+SUPPORT = 12
+
+
+def main() -> None:
+    data = case1_dataset(np.random.default_rng(SEED), n_points=N_POINTS)
+    dataset = data.dataset
+    query_index = int(dataset.cluster_indices(0)[0])
+    journal = SessionJournal.create(
+        OUT,
+        provenance={"kind": "case1", "seed": SEED, "n_points": N_POINTS},
+    )
+    engine = SearchEngine(
+        dataset, SearchConfig(support=SUPPORT), journal=journal
+    )
+    result = drive(
+        engine, dataset.points[query_index], OracleUser(dataset, query_index)
+    )
+    journal.close()
+    report = replay_journal(OUT)
+    assert report.clean, report.describe()
+    print(
+        f"wrote {OUT} ({report.records} records, "
+        f"{result.session.total_views} views, replay clean)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -186,3 +186,104 @@ class TestServer:
                 registry=MetricsRegistry(),
                 snapshot_payload={"metrics": {}},
             )
+
+
+class TestHealthAndSessions:
+    def test_healthz(self):
+        server = start_metrics_server(0, registry=MetricsRegistry())
+        try:
+            url = f"http://127.0.0.1:{server.port}/healthz"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "application/json"
+                )
+                payload = json.loads(response.read().decode())
+            assert payload["status"] == "ok"
+            assert payload["source"] == "live"
+            assert payload["uptime_seconds"] >= 0.0
+            assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+            assert set(payload["sessions"]) == {
+                "live",
+                "suspended",
+                "finished",
+            }
+        finally:
+            server.stop()
+
+    def test_healthz_reports_snapshot_source(self):
+        payload = _populated_registry().to_dict()
+        server = start_metrics_server(0, snapshot_payload=payload)
+        try:
+            url = f"http://127.0.0.1:{server.port}/healthz"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                health = json.loads(response.read().decode())
+            assert health["source"] == "snapshot"
+        finally:
+            server.stop()
+
+    def test_sessions_endpoint_lists_registered_sessions(self):
+        from repro.obs.registry import SESSIONS
+
+        sid = SESSIONS.register(dataset="test-ds", n_points=42, dim=5)
+        server = start_metrics_server(0, registry=MetricsRegistry())
+        try:
+            url = f"http://127.0.0.1:{server.port}/sessions"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                payload = json.loads(response.read().decode())
+            assert payload["counts"]["live"] >= 1
+            entry = next(
+                s
+                for s in payload["sessions"]
+                if s["session_id"] == sid
+            )
+            assert entry["dataset"] == "test-ds"
+            assert entry["n_points"] == 42
+        finally:
+            server.stop()
+            SESSIONS.finish(sid, reason="test")
+
+    def test_live_exposition_includes_session_series(self):
+        from repro.obs.registry import SESSIONS
+
+        sid = SESSIONS.register(dataset="test-ds", n_points=10, dim=3)
+        server = start_metrics_server(0, registry=MetricsRegistry())
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                body = response.read().decode()
+            assert f'repro_session_steps{{session="{sid}"' in body
+            assert body.endswith("# EOF\n")
+            # Session series sit above the terminator, not after it.
+            assert body.index("repro_session_steps") < body.index("# EOF")
+        finally:
+            server.stop()
+            SESSIONS.finish(sid, reason="test")
+
+    def test_snapshot_exposition_has_no_session_series(self):
+        from repro.obs.registry import SESSIONS
+
+        sid = SESSIONS.register(dataset="test-ds", n_points=10, dim=3)
+        payload = _populated_registry().to_dict()
+        server = start_metrics_server(0, snapshot_payload=payload)
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                body = response.read().decode()
+            # Frozen snapshots describe another process's registry; this
+            # process's sessions must not leak into them.
+            assert "repro_session_steps" not in body
+        finally:
+            server.stop()
+            SESSIONS.finish(sid, reason="test")
+
+    def test_404_lists_known_paths(self):
+        server = start_metrics_server(0, registry=MetricsRegistry())
+        try:
+            url = f"http://127.0.0.1:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5)
+            body = excinfo.value.read().decode()
+            for path in ("/metrics", "/metrics.json", "/sessions", "/healthz"):
+                assert path in body
+        finally:
+            server.stop()

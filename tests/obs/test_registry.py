@@ -1,0 +1,165 @@
+"""Tests for the process-wide session registry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.engine import SearchEngine
+from repro.core.search import drive
+from repro.interaction.oracle import OracleUser
+from repro.obs.registry import SESSIONS, SessionRegistry
+
+
+def _register(registry, **overrides):
+    kwargs = {"dataset": "ds", "n_points": 100, "dim": 10}
+    kwargs.update(overrides)
+    return registry.register(**kwargs)
+
+
+class TestTransitions:
+    def test_register_is_live(self):
+        registry = SessionRegistry()
+        sid = _register(registry)
+        assert sid.startswith("s")
+        assert registry.counts() == {"live": 1, "suspended": 0, "finished": 0}
+
+    def test_view_and_decision_track_progress(self):
+        registry = SessionRegistry()
+        sid = _register(registry)
+        registry.note_view(sid, step=1)
+        registry.note_decision(sid)
+        registry.note_view(sid, step=2)
+        (info,) = registry.snapshot()
+        assert info["views"] == 2
+        assert info["steps"] == 2
+        assert info["state"] == "live"
+
+    def test_suspend_then_finish(self):
+        registry = SessionRegistry()
+        sid = _register(registry)
+        registry.suspend(sid)
+        assert registry.counts()["suspended"] == 1
+        registry.finish(sid, reason="top_set_stable")
+        counts = registry.counts()
+        assert counts == {"live": 0, "suspended": 0, "finished": 1}
+        (info,) = registry.snapshot()
+        assert info["reason"] == "top_set_stable"
+
+    def test_finish_is_terminal(self):
+        registry = SessionRegistry()
+        sid = _register(registry)
+        registry.finish(sid, reason="done")
+        registry.note_view(sid, step=9)  # late report: ignored
+        registry.suspend(sid)
+        (info,) = registry.snapshot()
+        assert info["state"] == "finished" and info["views"] == 0
+
+    def test_unknown_ids_are_noops(self):
+        registry = SessionRegistry()
+        registry.note_view("s999999", step=1)
+        registry.note_decision("s999999")
+        registry.suspend("s999999")
+        registry.finish("s999999", reason="x")
+        assert registry.counts() == {"live": 0, "suspended": 0, "finished": 0}
+
+    def test_reset_forgets_everything(self):
+        registry = SessionRegistry()
+        _register(registry)
+        registry.reset()
+        assert registry.counts() == {"live": 0, "suspended": 0, "finished": 0}
+        assert registry.snapshot() == []
+
+
+class TestEviction:
+    def test_finished_history_is_bounded_fifo(self):
+        registry = SessionRegistry(max_finished=2)
+        sids = [_register(registry) for _ in range(3)]
+        for sid in sids:
+            registry.finish(sid, reason="done")
+        retained = {info["session_id"] for info in registry.snapshot()}
+        assert retained == set(sids[1:])  # oldest finished evicted
+
+    def test_live_sessions_never_evicted(self):
+        registry = SessionRegistry(max_finished=1)
+        live = _register(registry)
+        for _ in range(3):
+            registry.finish(_register(registry), reason="done")
+        retained = {info["session_id"] for info in registry.snapshot()}
+        assert live in retained
+
+
+class TestSnapshotAndExport:
+    def test_snapshot_is_newest_first(self):
+        registry = SessionRegistry()
+        first = _register(registry)
+        second = _register(registry)
+        order = [info["session_id"] for info in registry.snapshot()]
+        assert order == [second, first]
+
+    def test_snapshot_has_derived_ages(self):
+        registry = SessionRegistry()
+        _register(registry)
+        (info,) = registry.snapshot()
+        assert info["age_seconds"] >= 0.0
+        assert info["idle_seconds"] >= 0.0
+
+    def test_openmetrics_excludes_finished(self):
+        registry = SessionRegistry()
+        live = _register(registry)
+        done = _register(registry)
+        registry.finish(done, reason="done")
+        text = "\n".join(registry.openmetrics_lines())
+        assert f'session="{live}"' in text
+        assert f'session="{done}"' not in text
+        assert "# TYPE repro_session_steps gauge" in text
+        assert "repro_session_age_seconds" in text
+
+    def test_openmetrics_empty_when_idle(self):
+        assert SessionRegistry().openmetrics_lines() == []
+
+
+class TestEngineIntegration:
+    def test_engine_lifecycle_reports_to_singleton(self, small_clustered):
+        dataset = small_clustered.dataset
+        qi = int(dataset.cluster_indices(0)[0])
+        config = SearchConfig(
+            support=15,
+            grid_resolution=30,
+            min_major_iterations=2,
+            max_major_iterations=2,
+            projection_restarts=2,
+        )
+        from repro.obs.metrics import counter
+
+        # The cumulative counter, not counts()["finished"]: the retained
+        # history is FIFO-capped, and a full-suite run finishes far more
+        # than max_finished sessions before this test executes.
+        before = counter("sessions.finished").value
+        engine = SearchEngine(dataset, config)
+        result = drive(
+            engine, dataset.points[qi], OracleUser(dataset, qi)
+        )
+        assert np.asarray(result.neighbor_indices).size > 0
+        assert engine.session_id is not None
+        assert counter("sessions.finished").value == before + 1
+        entry = next(
+            info
+            for info in SESSIONS.snapshot()
+            if info["session_id"] == engine.session_id
+        )
+        assert entry["state"] == "finished"
+        assert entry["views"] == result.session.total_views
+
+    def test_abandoned_engine_is_suspended(self, small_clustered):
+        dataset = small_clustered.dataset
+        qi = int(dataset.cluster_indices(0)[0])
+        engine = SearchEngine(dataset, SearchConfig(support=15))
+        engine.start(dataset.points[qi])
+        engine.close()
+        entry = next(
+            info
+            for info in SESSIONS.snapshot()
+            if info["session_id"] == engine.session_id
+        )
+        assert entry["state"] == "suspended"

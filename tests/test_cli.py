@@ -397,3 +397,154 @@ class TestServeMetrics:
         assert args.host == "127.0.0.1"
         assert args.from_json is None
         assert args.max_requests == 0
+
+
+class TestJournalFlags:
+    DEMO = ["demo", "--points", "500", "--support", "12", "--seed", "7"]
+
+    def test_demo_journal_then_replay_and_inspect(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        assert main(self.DEMO + ["--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "session journal written to" in out
+        assert journal.exists()
+
+        assert main(["replay", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "CLEAN" in out
+
+        assert main(["inspect", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "chain OK" in out
+        assert "session_start" in out
+        assert "finished:    yes" in out
+
+    def test_checkpoint_resume_journal_replays_clean(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        ckpt = tmp_path / "run.ckpt.json"
+        assert (
+            main(
+                self.DEMO
+                + [
+                    "--journal",
+                    str(journal),
+                    "--checkpoint",
+                    str(ckpt),
+                    "--checkpoint-step",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # The printed resume command carries the journal along.
+        assert "--journal" in out
+        assert json.loads(ckpt.read_text())["journal"]["cursor"]["seq"] >= 0
+
+        assert (
+            main(
+                self.DEMO
+                + ["--journal", str(journal), "--resume", str(ckpt)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", str(journal)]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_resume_without_journaled_checkpoint_fails(
+        self, capsys, tmp_path
+    ):
+        ckpt = tmp_path / "run.ckpt.json"
+        assert (
+            main(
+                self.DEMO
+                + ["--checkpoint", str(ckpt), "--checkpoint-step", "2"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            self.DEMO
+            + ["--journal", str(tmp_path / "j.jsonl"), "--resume", str(ckpt)]
+        )
+        assert code == 2
+        assert (
+            "the checkpoint was written without one"
+            in capsys.readouterr().err
+        )
+
+    def test_replay_divergence_exits_1(self, capsys, tmp_path):
+        from repro.obs.journal import canonical_json, sha256_hex
+
+        journal = tmp_path / "run.jsonl"
+        assert main(self.DEMO + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        # Perturb a view digest, recomputing the chain so the file
+        # still *validates* — replay must catch it semantically.
+        chain = "repro.session-journal:genesis"
+        lines = []
+        for line in journal.read_text().splitlines():
+            obj = json.loads(line)
+            if obj["type"] == "view" and "live_digest" in obj["payload"]:
+                obj["payload"]["live_digest"] = "0" * 64
+            record = {k: obj[k] for k in ("seq", "type", "ts", "payload")}
+            chain = sha256_hex(chain + canonical_json(record))
+            record["chain"] = chain
+            lines.append(canonical_json(record))
+        journal.write_text("\n".join(lines) + "\n")
+
+        assert main(["replay", str(journal)]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_corrupt_journal_exits_2(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        assert main(self.DEMO + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        journal.write_bytes(journal.read_bytes()[:-7])
+        assert main(["replay", str(journal)]) == 2
+        assert "cannot replay" in capsys.readouterr().err
+
+    def test_inspect_corrupt_journal_exits_2(self, capsys, tmp_path):
+        journal = tmp_path / "bad.jsonl"
+        journal.write_text("not json\n")
+        assert main(["inspect", str(journal)]) == 2
+        assert "cannot inspect" in capsys.readouterr().err
+
+    def test_batch_journal_dir_writes_replayable_journals(
+        self, capsys, tmp_path
+    ):
+        jdir = tmp_path / "journals"
+        code = main(
+            [
+                "batch",
+                "--points",
+                "500",
+                "--queries",
+                "2",
+                "--journal-dir",
+                str(jdir),
+            ]
+        )
+        assert code == 0
+        assert "session journals" in capsys.readouterr().out
+        journals = sorted(jdir.glob("session-*.jsonl"))
+        assert len(journals) == 2
+        for path in journals:
+            capsys.readouterr()
+            assert main(["replay", str(path)]) == 0
+            assert "CLEAN" in capsys.readouterr().out
+
+    def test_parser_accepts_journal_flags(self):
+        args = build_parser().parse_args(
+            ["demo", "--journal", "j.jsonl"]
+        )
+        assert args.journal == "j.jsonl"
+        args = build_parser().parse_args(
+            ["batch", "--journal-dir", "jdir"]
+        )
+        assert args.journal_dir == "jdir"
+        args = build_parser().parse_args(["replay", "j.jsonl"])
+        assert args.command == "replay" and args.journal == "j.jsonl"
+        args = build_parser().parse_args(["inspect", "j.jsonl"])
+        assert args.command == "inspect" and args.journal == "j.jsonl"
