@@ -26,23 +26,29 @@ Workload matrix (``--quick`` halves the sizes and drops a cell):
 * ``sequential_nocache`` — sequential with the KDE grid cache disabled
 
 Each cell records wall seconds, queries/second, the KDE cache hit rate,
-the deterministic work counters (``connectivity.flood_fills``,
-``engine.steps``, and the derived fills-per-step ratio), and the
-per-phase trace aggregate (count, wall/cpu/self totals) for the key
-pipeline phases; the document also carries peak RSS (self and
-children) from :func:`resource.getrusage`.
+the deterministic work counters (``connectivity.flood_fill.calls``,
+``connectivity.merge_tree.builds``, ``engine.steps``, and the derived
+fills-per-step ratio), and the per-phase trace aggregate (count,
+wall/cpu/self totals) for the key pipeline phases; the document also
+carries peak RSS (self and children) from :func:`resource.getrusage`
+and a τ-sweep microbenchmark comparing the merge-tree path against the
+BFS flood-fill reference on one pinned view (element-identical masks
+are asserted, the speedup is recorded).
 
 Wall-clock comparisons across *different machines* are meaningless —
-baselines are per-environment artifacts.  CI runs ``check`` as a
-non-blocking report job with a generous threshold; phase *counts* are
-compared exactly (they are deterministic for a pinned workload) and
-catch behavioral regressions (e.g. a cache that silently stopped
-hitting) independent of machine speed.
+baselines are per-environment artifacts.  Structural *counts*, by
+contrast, are deterministic for a pinned workload on any machine:
+flood-fill calls (0 since the merge-tree refactor), engine steps, and
+the fills-per-step bound catch behavioral regressions (e.g. a consumer
+silently falling back to per-τ flooding) independent of machine speed.
+``check --counters-only`` compares only those, which is what CI runs as
+a *blocking* gate; the wall-time diff remains a warning-level report.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/regression.py record
     PYTHONPATH=src python benchmarks/regression.py check --threshold 0.5
+    PYTHONPATH=src python benchmarks/regression.py check --counters-only
 """
 
 from __future__ import annotations
@@ -75,6 +81,7 @@ KEY_PHASES = (
     "projection.find",
     "kde.grid",
     "connectivity.flood_fill",
+    "connectivity.merge_tree.build",
     "batch.finalize",
 )
 
@@ -143,8 +150,18 @@ def _run_cell(
         "kde.cache.miss", 0.0
     )
     lookups = hits + misses
-    flood_fills = after.get("connectivity.flood_fills", 0.0) - before.get(
-        "connectivity.flood_fills", 0.0
+    # Canonical counter since the merge-tree refactor; the deprecated
+    # ``connectivity.flood_fills`` alias moves in lockstep and is kept
+    # as a fallback so this harness can still read old registries.
+    flood_fills = after.get(
+        "connectivity.flood_fill.calls",
+        after.get("connectivity.flood_fills", 0.0),
+    ) - before.get(
+        "connectivity.flood_fill.calls",
+        before.get("connectivity.flood_fills", 0.0),
+    )
+    tree_builds = after.get("connectivity.merge_tree.builds", 0.0) - before.get(
+        "connectivity.merge_tree.builds", 0.0
     )
     steps = after.get("engine.steps", 0.0) - before.get("engine.steps", 0.0)
     aggregate = tracer.report().aggregate()
@@ -169,10 +186,73 @@ def _run_cell(
         },
         "counters": {
             "flood_fills": int(flood_fills),
+            "merge_tree_builds": int(tree_builds),
             "engine_steps": int(steps),
             "fills_per_step": flood_fills / steps if steps else 0.0,
         },
         "phases": phases,
+    }
+
+
+def run_tau_sweep_microbench(
+    dataset, config, *, taus: int = 32, repeats: int = 3
+) -> dict[str, Any]:
+    """τ-sweep lane: merge tree vs per-τ BFS flood fill on one view.
+
+    Builds one visual profile of the workload dataset's first two
+    coordinates, then answers the same *taus*-step threshold ladder two
+    ways: a cold merge-tree build plus one ``region_sweep`` (the
+    refactored path, including its one-time precomputation) and *taus*
+    BFS flood fills (the pre-refactor path).  Masks are asserted
+    element-identical — a mismatch raises — and the best-of-*repeats*
+    times plus the derived speedup are recorded.
+    """
+    from repro.density.cache import disabled_density_cache
+    from repro.density.connectivity import bfs_parity, connected_region
+    from repro.density.merge_tree import MergeTree
+    from repro.density.profiles import VisualProfile
+
+    points_2d = np.asarray(dataset.points[:, :2], dtype=float)
+    query = points_2d[0]
+    with disabled_density_cache():
+        profile = VisualProfile.build(
+            points_2d, query, resolution=config.grid_resolution
+        )
+    grid = profile.grid
+    ladder = np.linspace(0.0, float(grid.density.max()) * 0.999, taus)
+    qcell = grid.cell_of(query)
+
+    merge_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        tree = MergeTree.from_density(grid.density)  # cold build each time
+        masks = tree.region_sweep(ladder, qcell)
+        merge_best = min(merge_best, time.perf_counter() - start)
+
+    bfs_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        with bfs_parity():
+            bfs_masks = [
+                connected_region(grid, query, float(tau), method="bfs").mask
+                for tau in ladder
+            ]
+        bfs_best = min(bfs_best, time.perf_counter() - start)
+
+    identical = all(
+        np.array_equal(masks[pos], bfs_masks[pos]) for pos in range(taus)
+    )
+    if not identical:
+        raise AssertionError(
+            "merge-tree τ-sweep masks diverged from the BFS reference"
+        )
+    return {
+        "taus": taus,
+        "grid_resolution": int(config.grid_resolution),
+        "merge_tree_seconds": merge_best,
+        "bfs_seconds": bfs_best,
+        "speedup": bfs_best / merge_best if merge_best > 0 else float("inf"),
+        "identical": True,
     }
 
 
@@ -230,6 +310,14 @@ def run_matrix(
             f"({workloads[cell_name]['queries_per_second']:.2f} q/s)",
             flush=True,
         )
+    print("  running tau_sweep microbench ...", flush=True)
+    tau_sweep = run_tau_sweep_microbench(dataset, config)
+    print(
+        f"    merge_tree {tau_sweep['merge_tree_seconds'] * 1e3:.2f}ms vs "
+        f"bfs {tau_sweep['bfs_seconds'] * 1e3:.2f}ms "
+        f"({tau_sweep['speedup']:.1f}x, masks identical)",
+        flush=True,
+    )
     usage_self = resource.getrusage(resource.RUSAGE_SELF)
     usage_children = resource.getrusage(resource.RUSAGE_CHILDREN)
     return {
@@ -250,6 +338,7 @@ def run_matrix(
             "children": int(usage_children.ru_maxrss) * 1024,
         },
         "workloads": workloads,
+        "microbench": {"tau_sweep": tau_sweep},
     }
 
 
@@ -261,6 +350,7 @@ def compare(
     current: dict[str, Any],
     *,
     threshold: float = DEFAULT_THRESHOLD,
+    counters_only: bool = False,
 ) -> tuple[list[dict[str, Any]], list[str]]:
     """Diff two measurement documents.
 
@@ -269,18 +359,33 @@ def compare(
     the list of human-readable regression descriptions.  A wall-time
     metric regresses when ``current > baseline * (1 + threshold)`` and
     the baseline is above :data:`MIN_COMPARED_SECONDS`; deterministic
-    phase *counts* regress on any mismatch.
+    phase *counts* regress on any mismatch, and *bounded* metrics
+    (``fills_per_step``) regress when the current value exceeds the
+    baseline at all — call counts may only go down.
+
+    With ``counters_only=True``, wall-time and rate metrics are skipped
+    entirely: the remaining count/bounded comparisons are deterministic
+    for a pinned workload and therefore machine-independent, which is
+    what lets CI run them as a blocking gate against the committed
+    baseline.
     """
     rows: list[dict[str, Any]] = []
     regressions: list[str] = []
 
     def add(workload: str, metric: str, base: float, cur: float, kind: str):
+        if counters_only and kind not in ("count", "bounded"):
+            return
         if base <= 0:
             delta = 0.0 if cur <= 0 else float("inf")
         else:
             delta = (cur - base) / base
         if kind == "count":
             regressed = int(base) != int(cur)
+        elif kind == "bounded":
+            # One-sided: dropping below the baseline is the refactor
+            # working; creeping above it means a consumer regressed
+            # onto a more expensive path.
+            regressed = cur > base + 1e-9
         elif kind == "seconds":
             regressed = base > MIN_COMPARED_SECONDS and delta > threshold
         else:  # rate: lower is worse
@@ -302,6 +407,8 @@ def compare(
         if regressed:
             if kind == "count":
                 detail = f"{int(base)} -> {int(cur)}"
+            elif kind == "bounded":
+                detail = f"{base:g} -> {cur:g} (bound exceeded)"
             elif kind == "rate":
                 detail = f"{base:.1%} -> {cur:.1%}"
             else:
@@ -329,7 +436,13 @@ def compare(
         )
         base_counters = base_cell.get("counters", {})
         cur_counters = cur_cell.get("counters", {})
-        for name in ("flood_fills", "engine_steps"):
+        exact = ["flood_fills", "engine_steps"]
+        if workload != "workers4":
+            # Merge-tree builds dedupe through the per-process density
+            # cache; 4-worker scheduling decides which worker sees a
+            # repeated grid, so only single-process cells are exact.
+            exact.append("merge_tree_builds")
+        for name in exact:
             if name in base_counters and name in cur_counters:
                 add(
                     workload,
@@ -338,9 +451,22 @@ def compare(
                     float(cur_counters[name]),
                     "count",
                 )
+        if "fills_per_step" in base_counters and "fills_per_step" in cur_counters:
+            add(
+                workload,
+                "counters.fills_per_step",
+                float(base_counters["fills_per_step"]),
+                float(cur_counters["fills_per_step"]),
+                "bounded",
+            )
         base_phases = base_cell.get("phases", {})
         cur_phases = cur_cell.get("phases", {})
         for phase in sorted(set(base_phases) & set(cur_phases)):
+            if workload == "workers4" and phase == "connectivity.merge_tree.build":
+                # Build spans dedupe through each worker's density
+                # cache, so their count tracks 4-worker scheduling,
+                # not engine behavior (see merge_tree_builds above).
+                continue
             add(
                 workload,
                 f"{phase}.count",
@@ -355,6 +481,26 @@ def compare(
                 float(cur_phases[phase]["wall_total"]),
                 "seconds",
             )
+    base_sweep = baseline.get("microbench", {}).get("tau_sweep")
+    cur_sweep = current.get("microbench", {}).get("tau_sweep")
+    if base_sweep and cur_sweep:
+        # Mask parity is asserted at run time (run_tau_sweep_microbench
+        # raises on divergence); compared here so a doctored or stale
+        # document cannot slip through either.
+        add(
+            "microbench",
+            "tau_sweep.identical",
+            float(bool(base_sweep.get("identical"))),
+            float(bool(cur_sweep.get("identical"))),
+            "count",
+        )
+        add(
+            "microbench",
+            "tau_sweep.merge_tree_seconds",
+            float(base_sweep["merge_tree_seconds"]),
+            float(cur_sweep["merge_tree_seconds"]),
+            "seconds",
+        )
     return rows, regressions
 
 
@@ -366,6 +512,9 @@ def render_diff_table(rows: list[dict[str, Any]]) -> str:
         if row["kind"] == "count":
             base = str(int(row["baseline"]))
             cur = str(int(row["current"]))
+        elif row["kind"] == "bounded":
+            base = f"{row['baseline']:.2f}"
+            cur = f"{row['current']:.2f}"
         elif row["kind"] == "rate":
             base = f"{row['baseline']:.1%}"
             cur = f"{row['current']:.1%}"
@@ -446,6 +595,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=RESULTS_DIR,
         help="directory receiving the current JSON + diff table",
     )
+    check.add_argument(
+        "--counters-only",
+        action="store_true",
+        help=(
+            "compare only deterministic count/bounded metrics (flood-"
+            "fill calls, engine steps, fills-per-step, phase counts); "
+            "machine-independent, suitable as a blocking CI gate"
+        ),
+    )
     return parser
 
 
@@ -494,7 +652,12 @@ def main(argv: list[str] | None = None) -> int:
         quick=bool(baseline.get("quick", args.quick)),
         name=str(baseline.get("name", args.name)),
     )
-    rows, regressions = compare(baseline, current, threshold=args.threshold)
+    rows, regressions = compare(
+        baseline,
+        current,
+        threshold=args.threshold,
+        counters_only=bool(getattr(args, "counters_only", False)),
+    )
     table = render_diff_table(rows)
     print()
     print(table)

@@ -80,11 +80,13 @@ _PRUNED = counter("search.pruned_points")
 _STEPS = counter("engine.steps")
 _RESUMES = counter("engine.resumes")
 # Flood fills executed between a view being emitted and its decision
-# arriving — almost entirely the simulated users' τ-sweep re-flooding
-# the same grid (see ROADMAP item 2).  The shared counter is the one
-# repro.density.connectivity increments; the histogram attributes its
-# growth to individual decision steps.
-_FLOOD_FILLS = counter("connectivity.flood_fills")
+# arriving.  Since the merge-tree refactor (ROADMAP item 2) the default
+# connectivity path never floods — the simulated users' τ-sweep is
+# answered by the view's precomputed merge tree — so this histogram
+# observes 0 per step unless something falls back to method="bfs".
+# The shared counter is the canonical one repro.density.connectivity
+# increments; the histogram attributes its growth to decision steps.
+_FLOOD_FILLS = counter("connectivity.flood_fill.calls")
 _FILLS_PER_STEP = histogram(
     "connectivity.flood_fill.calls_per_step", DEFAULT_SIZE_BUCKETS
 )
@@ -691,6 +693,12 @@ class SearchEngine:
                 resolution=config.grid_resolution,
                 bandwidth_scale=config.bandwidth_scale,
             )
+            # Precompute the grid's merge tree inside the engine.step
+            # span: every connectivity question the user asks about this
+            # view (any tau) is then a lookup, and the one-time sweep is
+            # attributed to view computation rather than to the user's
+            # decision window.
+            profile.grid.merge_tree
         view = ProjectionView(
             profile=profile,
             projected_points=projected,

@@ -16,6 +16,7 @@ from repro.density.cache import (
 from repro.density.connectivity import (
     MIN_CORNERS_ABOVE,
     ConnectedRegion,
+    bfs_parity,
     component_labels,
     connected_region,
     count_components,
@@ -31,6 +32,7 @@ from repro.density.connectivity_graph import (
 )
 from repro.density.grid import DensityGrid, GridBounds
 from repro.density.kde import KernelDensityEstimator
+from repro.density.merge_tree import MergeTree, cell_birth_levels
 from repro.density.kernels import (
     epanechnikov_kernel,
     gaussian_kernel,
@@ -68,6 +70,9 @@ __all__ = [
     "count_components",
     "component_labels",
     "flood_fill_mask",
+    "bfs_parity",
+    "MergeTree",
+    "cell_birth_levels",
     "MIN_CORNERS_ABOVE",
     "ExactRegion",
     "exact_density_connected",

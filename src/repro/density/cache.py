@@ -29,6 +29,16 @@ executor keeps its own) and thread-safe.  Hits, misses, and evictions
 are exported through the metrics registry as ``kde.cache.hit``,
 ``kde.cache.miss``, and ``kde.cache.evictions``; the current entry
 count is the ``kde.cache.entries`` gauge.
+
+Next to each density grid the cache can also hold the grid's
+:class:`~repro.density.merge_tree.MergeTree` (the union-find
+connectivity precomputation of ROADMAP item 2).  Trees are keyed by a
+content digest of the **density array itself** — two grids share a tree
+exactly when their density bytes are identical, in which case the tree
+is identical too (it is a pure function of the densities).  A repeated
+grid therefore skips both the KDE arithmetic *and* the union-find
+sweep.  Tree traffic is exported as ``connectivity.merge_tree.cache_hit``
+/ ``connectivity.merge_tree.cache_miss``.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
+from typing import Any
 
 import numpy as np
 
@@ -65,6 +76,8 @@ _HITS = counter("kde.cache.hit")
 _MISSES = counter("kde.cache.miss")
 _EVICTIONS = counter("kde.cache.evictions")
 _ENTRIES = gauge("kde.cache.entries")
+_TREE_HITS = counter("connectivity.merge_tree.cache_hit")
+_TREE_MISSES = counter("connectivity.merge_tree.cache_miss")
 
 
 def fingerprint_arrays(*arrays: np.ndarray) -> bytes:
@@ -107,10 +120,16 @@ class DensityGridCache:
         self._max_entries = int(max_entries)
         self._max_entry_bytes = int(max_entry_bytes)
         self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        # Merge trees, content-addressed by density-array digest.  Kept
+        # in a sibling LRU with the same capacity: a tree is tiny next
+        # to its grid, and an evicted grid's tree ages out on its own.
+        self._trees: OrderedDict[bytes, Any] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._tree_hits = 0
+        self._tree_misses = 0
 
     # ------------------------------------------------------------------
     @property
@@ -192,10 +211,49 @@ class DensityGridCache:
                 _EVICTIONS.inc()
             _ENTRIES.set(len(self._entries))
 
+    # ------------------------------------------------------------------
+    # Merge-tree side store (content-addressed by density digest)
+    # ------------------------------------------------------------------
+    def tree_key_for(self, density: np.ndarray) -> bytes:
+        """Content key of a density array's merge tree.
+
+        The tree is a pure function of the density values, so the
+        digest of the density array alone addresses it — regardless of
+        which kernel, bandwidth, or point set produced the grid.
+        """
+        return fingerprint_arrays(density)
+
+    def fetch_tree(self, key: bytes) -> Any | None:
+        """Return the cached merge tree for *key*, or ``None``.
+
+        Trees are immutable, so the cached instance itself is returned
+        (no copy) — sharing one tree across byte-identical grids also
+        shares its per-query lookup cache.
+        """
+        with self._lock:
+            tree = self._trees.get(key)
+            if tree is None:
+                self._tree_misses += 1
+                _TREE_MISSES.inc()
+                return None
+            self._trees.move_to_end(key)
+            self._tree_hits += 1
+            _TREE_HITS.inc()
+            return tree
+
+    def put_tree(self, key: bytes, tree: Any) -> None:
+        """Store a merge tree under *key* (sibling LRU, same capacity)."""
+        with self._lock:
+            self._trees[key] = tree
+            self._trees.move_to_end(key)
+            while len(self._trees) > self._max_entries:
+                self._trees.popitem(last=False)
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         with self._lock:
             self._entries.clear()
+            self._trees.clear()
             _ENTRIES.set(0)
 
     def stats(self) -> dict[str, float]:
@@ -207,6 +265,9 @@ class DensityGridCache:
             "misses": self._misses,
             "evictions": self._evictions,
             "hit_rate": self.hit_rate,
+            "tree_entries": len(self._trees),
+            "tree_hits": self._tree_hits,
+            "tree_misses": self._tree_misses,
         }
 
 

@@ -9,11 +9,22 @@ rectangles reachable from the rectangle containing ``Q`` through
 A flood fill (breadth-first search) from ``Q``'s rectangle computes
 ``R(tau, Q)``; data points inside any member rectangle form the query
 cluster.
+
+Since the merge-tree refactor (ROADMAP item 2) the flood fill is no
+longer the default execution path: :func:`connected_region` and
+:func:`region_count_at` answer from the grid's precomputed
+:class:`~repro.density.merge_tree.MergeTree` (``method="merge_tree"``),
+which is element-identical for every ``tau`` and does not re-walk the
+grid per threshold.  ``method="bfs"`` keeps the original flood fill as
+the reference implementation for parity tests — wrap deliberate uses in
+:func:`bfs_parity` to silence the one-time :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,10 +37,61 @@ from repro.obs.trace import span
 #: Definition 2.2 requires at least this many corners above threshold.
 MIN_CORNERS_ABOVE = 3
 
-_FLOOD_FILLS = counter("connectivity.flood_fills")
+#: Canonical flood-fill call counter.  ``connectivity.flood_fills`` is
+#: the deprecated pre-merge-tree name, kept in lockstep so dashboards
+#: and the regression harness can migrate gradually (both names always
+#: report the same value; see docs/OBSERVABILITY.md).
+_FLOOD_FILL_CALLS = counter("connectivity.flood_fill.calls")
+_FLOOD_FILLS_DEPRECATED = counter("connectivity.flood_fills")
 _FLOOD_FILL_CELLS = histogram(
     "connectivity.flood_fill.cells", buckets=DEFAULT_SIZE_BUCKETS
 )
+
+
+def _count_flood_fill() -> None:
+    """Increment the canonical counter and its deprecated alias."""
+    _FLOOD_FILL_CALLS.inc()
+    _FLOOD_FILLS_DEPRECATED.inc()
+
+
+# ----------------------------------------------------------------------
+# BFS deprecation shim
+# ----------------------------------------------------------------------
+_BFS_PARITY_DEPTH = 0
+_BFS_WARNED = False
+
+
+@contextmanager
+def bfs_parity():
+    """Mark a block as a deliberate BFS-vs-merge-tree parity check.
+
+    Inside this context, ``method="bfs"`` does not emit the one-time
+    :class:`DeprecationWarning` — this is how the comparison property
+    tests (and any future parity harness) opt in to the reference path
+    without tripping ``-W error`` test configurations.
+    """
+    global _BFS_PARITY_DEPTH
+    _BFS_PARITY_DEPTH += 1
+    try:
+        yield
+    finally:
+        _BFS_PARITY_DEPTH -= 1
+
+
+def _note_bfs_use(api: str) -> None:
+    """One-time warning when the BFS path runs outside parity tests."""
+    global _BFS_WARNED
+    if _BFS_PARITY_DEPTH > 0 or _BFS_WARNED:
+        return
+    _BFS_WARNED = True
+    warnings.warn(
+        f"{api}(method='bfs') re-walks the grid on every call and is kept "
+        "only as the parity reference; the default method='merge_tree' "
+        "answers any tau from one precomputed union-find sweep. Wrap "
+        "deliberate parity checks in repro.density.connectivity.bfs_parity().",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def flood_fill_mask(
@@ -146,9 +208,13 @@ class ConnectedRegion:
 
 
 def connected_region(
-    grid: DensityGrid, query: np.ndarray, threshold: float
+    grid: DensityGrid,
+    query: np.ndarray,
+    threshold: float,
+    *,
+    method: str = "merge_tree",
 ) -> ConnectedRegion:
-    """Compute ``R(tau, Q)`` by flood fill (paper §2.3).
+    """Compute ``R(tau, Q)`` (paper §2.3).
 
     Parameters
     ----------
@@ -161,6 +227,13 @@ def connected_region(
         whose corner test passes trivially — with a strictly positive
         density floor the whole grid becomes one region, matching the
         paper's remark that ``tau = 0`` includes all points.
+    method:
+        ``"merge_tree"`` (default) answers from the grid's precomputed
+        :class:`~repro.density.merge_tree.MergeTree` — an ``O(p²)``
+        single-source pass amortized over every threshold ever asked of
+        this grid.  ``"bfs"`` is the original per-``tau`` flood fill,
+        kept as the parity reference (element-identical masks; see
+        ``tests/density/test_merge_tree.py``).
 
     Returns
     -------
@@ -169,10 +242,21 @@ def connected_region(
     q = np.asarray(query, dtype=float)
     if q.shape != (2,):
         raise DimensionalityError("query must be a 2-vector in the projection")
-    _FLOOD_FILLS.inc()
+    start = grid.cell_of(q)
+    if method == "merge_tree":
+        mask = grid.merge_tree.region_at(threshold, start)
+        return ConnectedRegion(
+            mask=mask,
+            threshold=threshold,
+            query_cell=start,
+            seeded=bool(mask[start]),
+        )
+    if method != "bfs":
+        raise ConfigurationError(f"unknown connectivity method {method!r}")
+    _note_bfs_use("connected_region")
+    _count_flood_fill()
     with span("connectivity.flood_fill", threshold=float(threshold)) as fill_span:
         qualifies = grid.corners_above(threshold) >= MIN_CORNERS_ABOVE
-        start = grid.cell_of(q)
         if not qualifies[start]:
             _FLOOD_FILL_CELLS.observe(0)
             fill_span.set(cells=0, seeded=False)
@@ -240,6 +324,7 @@ def count_components(qualifies: np.ndarray, *, method: str = "vectorized") -> in
         return int(np.unique(labels[q]).size) if q.any() else 0
     if method != "bfs":
         raise ConfigurationError(f"unknown component-count method {method!r}")
+    _note_bfs_use("count_components")
     seen = np.zeros_like(q, dtype=bool)
     rows, cols = q.shape
     regions = 0
@@ -252,16 +337,22 @@ def count_components(qualifies: np.ndarray, *, method: str = "vectorized") -> in
 
 
 def region_count_at(
-    grid: DensityGrid, threshold: float, *, method: str = "vectorized"
+    grid: DensityGrid, threshold: float, *, method: str = "merge_tree"
 ) -> int:
     """Number of distinct connected regions at *threshold*.
 
     Used by diagnostics and the heuristic user: a well-clustered
     projection shows a few crisp regions; noise shows either one blob
-    (low tau) or many specks (high tau).  The count is computed by the
-    vectorized labeling of :func:`component_labels`; pass
-    ``method="bfs"`` for the pre-vectorization reference sweep (both
-    always agree — see the comparison property test).
+    (low tau) or many specks (high tau).  The default ``"merge_tree"``
+    answers with two binary searches in the grid's precomputed merge
+    tree (``births above tau`` minus ``merges above tau``) — sweeping a
+    threshold ladder costs nothing beyond the one-time tree build.
+    ``method="vectorized"`` labels the qualifying set with
+    :func:`component_labels`; ``method="bfs"`` is the cell-by-cell
+    reference sweep.  All three always agree — see the comparison
+    property tests.
     """
+    if method == "merge_tree":
+        return grid.merge_tree.component_count_at(threshold)
     qualifies = grid.corners_above(threshold) >= MIN_CORNERS_ABOVE
     return count_components(qualifies, method=method)

@@ -12,7 +12,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.density.cache import get_density_cache
 from repro.density.kde import KernelDensityEstimator
+from repro.density.merge_tree import MergeTree
 from repro.exceptions import ConfigurationError, DimensionalityError
 from repro.obs.metrics import histogram
 from repro.obs.trace import NULL_SPAN, span
@@ -105,6 +107,7 @@ class DensityGrid:
             )
         if grid_span is not NULL_SPAN:
             _GRID_EVAL_SECONDS.observe(grid_span.wall)
+        self._merge_tree: MergeTree | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -141,6 +144,31 @@ class DensityGrid:
     def cell_count(self) -> int:
         """Number of elementary rectangles, ``(p-1)^2``."""
         return (self._resolution - 1) ** 2
+
+    @property
+    def merge_tree(self) -> MergeTree:
+        """Merge tree answering connectivity queries for any ``tau``.
+
+        Built lazily with one union-find sweep on first access and then
+        reused for the grid's lifetime.  The tree is content-addressed
+        by a digest of the density array in the process-wide
+        :class:`~repro.density.cache.DensityGridCache`, so byte-identical
+        grids (duplicate queries, resumed checkpoints, repeated batch
+        runs) share a single tree — and its per-source lookup cache.
+        """
+        tree = self._merge_tree
+        if tree is None:
+            cache = get_density_cache()
+            if cache is None:
+                tree = MergeTree.from_density(self._density)
+            else:
+                key = cache.tree_key_for(self._density)
+                tree = cache.fetch_tree(key)
+                if tree is None:
+                    tree = MergeTree.from_density(self._density)
+                    cache.put_tree(key, tree)
+            self._merge_tree = tree
+        return tree
 
     # ------------------------------------------------------------------
     def cell_of(self, point: np.ndarray) -> tuple[int, int]:

@@ -20,6 +20,10 @@ from repro.obs.metrics import counter
 from repro.obs.trace import span
 
 _PROFILES_BUILT = counter("profile.builds")
+#: Shared with repro.density.merge_tree — the vectorized sweep below
+#: answers one region query per threshold without going through
+#: ``MergeTree.region_at``, so it accounts for its lookups itself.
+_TREE_LOOKUPS = counter("connectivity.merge_tree.lookups")
 
 
 @dataclass(frozen=True)
@@ -131,6 +135,36 @@ class VisualProfile:
         member = points_in_region(self.grid, region, projected_points)
         return np.flatnonzero(member)
 
+    def cluster_sweep(
+        self, projected_points: np.ndarray, thresholds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Query-cluster membership for a whole threshold ladder at once.
+
+        Returns ``(sizes, masks)``: ``sizes[t]`` is the cluster size at
+        ``thresholds[t]`` and ``masks`` is a ``(len(thresholds), n)``
+        boolean array whose row ``t`` equals the membership mask
+        :meth:`query_cluster_indices` would produce at ``thresholds[t]``.
+
+        One merge-tree single-source pass answers every threshold: a
+        point joins the cluster at ``tau`` exactly when the merge level
+        between its cell and the query's cell exceeds ``tau``, so the
+        whole sweep is a single vectorized comparison — this is what
+        makes the simulated users' τ line-search effectively free.
+        """
+        taus = np.asarray(thresholds, dtype=float)
+        pts = np.asarray(projected_points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise DimensionalityError("projected_points must be (n, 2)")
+        levels = self.grid.merge_tree.merge_levels_from(
+            self.grid.cell_of(self.query_2d)
+        )
+        _TREE_LOOKUPS.inc(int(taus.size))
+        cells = self.grid.cells_of(pts)
+        point_levels = levels[cells[:, 0], cells[:, 1]]
+        masks = point_levels[np.newaxis, :] > taus[:, np.newaxis]
+        sizes = masks.sum(axis=1).astype(int)
+        return sizes, masks
+
     def cluster_size_curve(
         self, projected_points: np.ndarray, thresholds: np.ndarray
     ) -> np.ndarray:
@@ -139,9 +173,7 @@ class VisualProfile:
         Monotonically non-increasing in the threshold; used by simulated
         users to pick a knee and by diagnostics to characterize views.
         """
-        sizes = np.empty(len(thresholds), dtype=int)
-        for pos, tau in enumerate(thresholds):
-            sizes[pos] = self.query_cluster_indices(projected_points, tau).size
+        sizes, _ = self.cluster_sweep(projected_points, thresholds)
         return sizes
 
 

@@ -167,6 +167,11 @@ class ThresholdSweep:
         separator above that disconnects the query's region entirely —
         and bottoms out at the grid's median density (the background
         level below which everything merges).
+
+        The whole ladder is answered by one merge-tree pass
+        (:meth:`~repro.density.profiles.VisualProfile.cluster_sweep`)
+        instead of one flood fill per threshold; the resulting sizes
+        and masks are element-identical to the per-``tau`` path.
         """
         density = view.profile.grid.density
         peak = float(density.max())
@@ -177,14 +182,10 @@ class ThresholdSweep:
             return cls(thresholds=np.empty(0), sizes=np.empty(0, dtype=int))
         lo = min(max(floor, hi * 1e-4), hi * 0.5)
         taus = np.geomspace(max(lo, 1e-12), hi, steps)
-        sizes = np.empty(steps, dtype=int)
-        masks: list[np.ndarray] = []
-        for pos, tau in enumerate(taus):
-            idx = view.profile.query_cluster_indices(view.projected_points, tau)
-            mask = np.zeros(view.n_points, dtype=bool)
-            mask[idx] = True
-            masks.append(mask)
-            sizes[pos] = idx.size
+        sizes, mask_rows = view.profile.cluster_sweep(
+            view.projected_points, taus
+        )
+        masks = [mask_rows[pos].copy() for pos in range(steps)]
         return cls(thresholds=taus, sizes=sizes, masks=masks)
 
     @property

@@ -263,9 +263,11 @@ def test_worker_counters_are_merged_into_parent_registry():
 
 # Counters whose totals legitimately depend on the process topology:
 # the KDE grid cache is per-process (one shared cache sequentially,
-# one per worker in parallel) and ``batch.*`` belongs to the executor
-# itself, not the per-query engine work.
-_TOPOLOGY_DEPENDENT_PREFIXES = ("kde.cache.", "batch.")
+# one per worker in parallel), the merge-tree store rides in that same
+# cache (builds/source passes dedupe across queries only within one
+# process), and ``batch.*`` belongs to the executor itself, not the
+# per-query engine work.
+_TOPOLOGY_DEPENDENT_PREFIXES = ("kde.cache.", "connectivity.merge_tree.", "batch.")
 
 
 def _engine_counter_values() -> dict[str, float]:
@@ -290,8 +292,9 @@ def test_parallel_telemetry_parity_with_sequential():
     matter which process runs it.  With worker snapshots merged back,
     the parent registry after ``workers=4`` must show the same
     per-engine counter deltas and the same deterministic histogram
-    observations (``connectivity.flood_fill.cells`` records exact cell
-    counts, always) as the in-process sequential run.
+    observations (``connectivity.flood_fill.calls_per_step`` records
+    one exact value per engine step, always) as the in-process
+    sequential run.
     """
     ds = clustered_dataset()
     queries = np.array([0, 1, 2, 3], dtype=int)
@@ -299,10 +302,10 @@ def test_parallel_telemetry_parity_with_sequential():
 
     def run_and_delta(workers: int):
         counters_before = _engine_counter_values()
-        hist_before = _histogram_state("connectivity.flood_fill.cells")
+        hist_before = _histogram_state("connectivity.flood_fill.calls_per_step")
         run_batch(search, queries, OracleFactory(), workers=workers)
         counters_after = _engine_counter_values()
-        hist_after = _histogram_state("connectivity.flood_fill.cells")
+        hist_after = _histogram_state("connectivity.flood_fill.calls_per_step")
         counter_delta = {
             name: counters_after[name] - counters_before.get(name, 0.0)
             for name in counters_after
@@ -329,7 +332,7 @@ def test_parallel_telemetry_parity_with_sequential():
     assert par_hist[0] == seq_hist[0]
     assert par_hist[1] == pytest.approx(seq_hist[1])
     assert par_hist[2] == seq_hist[2]
-    assert par_hist[2] > 0, "flood fill histogram never observed"
+    assert par_hist[2] > 0, "per-step histogram never observed"
 
 
 def test_traced_parallel_batch_adopts_worker_spans_on_lanes():
@@ -379,9 +382,9 @@ def test_untraced_parallel_batch_ships_no_spans():
 def test_worker_histograms_and_gauges_are_merged():
     ds = clustered_dataset()
     queries = np.array([0, 1], dtype=int)
-    _, _, count_before = _histogram_state("connectivity.flood_fill.cells")
+    _, _, count_before = _histogram_state("connectivity.flood_fill.calls_per_step")
     run_parallel_batch(ds, FAST_CONFIG, queries, OracleFactory(), workers=2)
-    _, _, count_after = _histogram_state("connectivity.flood_fill.cells")
+    _, _, count_after = _histogram_state("connectivity.flood_fill.calls_per_step")
     assert count_after > count_before, "worker histogram deltas not merged"
     # The workers' KDE caches stored entries; the gauge last-write
     # crossed the boundary.

@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.density.connectivity import (
     MIN_CORNERS_ABOVE,
+    bfs_parity,
     component_labels,
     connected_region,
     count_components,
@@ -149,20 +150,23 @@ def test_component_labels_match_flood_fill_partition(q):
 @settings(max_examples=80, deadline=None)
 def test_count_components_vectorized_equals_bfs(q):
     """The vectorized count agrees with the reference sweep everywhere."""
-    assert count_components(q, method="vectorized") == count_components(
-        q, method="bfs"
-    )
+    with bfs_parity():
+        assert count_components(q, method="vectorized") == count_components(
+            q, method="bfs"
+        )
 
 
 @given(point_clouds(), st.floats(min_value=0.0, max_value=1.0))
 @settings(max_examples=20, deadline=None)
 def test_region_count_methods_agree_on_real_grids(points, frac):
-    """Both region counters agree on genuine corner-test grids."""
+    """All three region counters agree on genuine corner-test grids."""
     grid = DensityGrid(points, resolution=12)
     tau = frac * float(grid.density.max())
-    assert region_count_at(grid, tau, method="vectorized") == region_count_at(
-        grid, tau, method="bfs"
-    )
+    with bfs_parity():
+        reference = region_count_at(grid, tau, method="bfs")
+    assert region_count_at(grid, tau, method="vectorized") == reference
+    assert region_count_at(grid, tau, method="merge_tree") == reference
+    assert region_count_at(grid, tau) == reference  # merge tree is default
 
 
 def test_component_labels_canonical_roots():
@@ -196,6 +200,7 @@ def test_corner_test_qualifying_grid_roundtrip(blob_2d):
     for frac in (0.0, 0.1, 0.3, 0.7):
         tau = frac * float(grid.density.max())
         qualifies = grid.corners_above(tau) >= MIN_CORNERS_ABOVE
-        assert count_components(qualifies) == count_components(
-            qualifies, method="bfs"
-        )
+        with bfs_parity():
+            assert count_components(qualifies) == count_components(
+                qualifies, method="bfs"
+            )

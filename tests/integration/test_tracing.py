@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro import InteractiveNNSearch, OracleUser, SearchConfig
+from repro.density.cache import disabled_density_cache
 from repro.obs import REGISTRY, Tracer, finish_trace
 
 
@@ -54,7 +55,12 @@ class TestTracedRun:
         ]
 
     def test_pipeline_phases_present_and_nested(self, small_clustered):
-        report = _run(small_clustered, trace=True).trace
+        # A warm process-wide density cache short-circuits both the KDE
+        # arithmetic and the merge-tree build for repeated grids; this
+        # test asserts the *cold* pipeline's span inventory, so run it
+        # with caching off.
+        with disabled_density_cache():
+            report = _run(small_clustered, trace=True).trace
         names = set(report.span_names())
         assert {
             "search.run",
@@ -62,7 +68,7 @@ class TestTracedRun:
             "search.minor",
             "projection.find",
             "kde.grid",
-            "connectivity.flood_fill",
+            "connectivity.merge_tree.build",
             "user.decision",
         } <= names
         # The search.run span is the single root and contains everything.

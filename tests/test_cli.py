@@ -178,18 +178,23 @@ class TestObservabilityFlags:
         assert "spans)" in out
 
     def test_trace_out_writes_json(self, capsys, tmp_path):
+        from repro.density.cache import disabled_density_cache
+
         trace_path = tmp_path / "trace.json"
-        code = main(
-            [
-                "--trace-out",
-                str(trace_path),
-                "demo",
-                "--points",
-                "400",
-                "--support",
-                "10",
-            ]
-        )
+        # Cold-cache run: the span inventory below includes the
+        # merge-tree build, which a warm process-wide cache would skip.
+        with disabled_density_cache():
+            code = main(
+                [
+                    "--trace-out",
+                    str(trace_path),
+                    "demo",
+                    "--points",
+                    "400",
+                    "--support",
+                    "10",
+                ]
+            )
         assert code == 0
         out = capsys.readouterr().out
         assert "trace written to" in out
@@ -209,7 +214,7 @@ class TestObservabilityFlags:
             "search.minor",
             "projection.find",
             "kde.grid",
-            "connectivity.flood_fill",
+            "connectivity.merge_tree.build",
         } <= names
         assert payload["metadata"]["command"] == "demo"
 

@@ -143,6 +143,87 @@ class TestCompare:
         assert regressions == []
         assert not any(r["workload"] == "extra" for r in rows)
 
+    @staticmethod
+    def _with_counters(doc, *, fills=0, steps=64, builds=10, fps=0.0):
+        doc["workloads"]["sequential"]["counters"] = {
+            "flood_fills": fills,
+            "merge_tree_builds": builds,
+            "engine_steps": steps,
+            "fills_per_step": fps,
+        }
+        return doc
+
+    def test_fills_per_step_is_one_sided(self):
+        """Dropping below the bound is fine; exceeding it regresses."""
+        base = self._with_counters(_payload(), fps=1.0)
+        better = self._with_counters(_payload(), fps=0.0)
+        worse = self._with_counters(_payload(), fps=2.0, fills=128)
+        _, regressions = compare(base, better)
+        assert not any("fills_per_step" in r for r in regressions)
+        _, regressions = compare(base, worse)
+        assert any("fills_per_step" in r for r in regressions)
+        assert any("flood_fills" in r for r in regressions)
+
+    def test_merge_tree_builds_exact_outside_workers4(self):
+        base = self._with_counters(_payload(), builds=10)
+        drifted = self._with_counters(_payload(), builds=11)
+        _, regressions = compare(base, drifted)
+        assert any("merge_tree_builds: 10 -> 11" in r for r in regressions)
+        # The same drift under workers4 is scheduling noise, not a bug.
+        for doc in (base, drifted):
+            doc["workloads"]["workers4"] = doc["workloads"].pop("sequential")
+        _, regressions = compare(base, drifted)
+        assert not any("merge_tree_builds" in r for r in regressions)
+
+    def test_merge_tree_build_phase_count_ignored_under_workers4(self):
+        base = _payload()
+        cur = _payload()
+        for doc, count in ((base, 165), (cur, 170)):
+            doc["workloads"]["sequential"]["phases"][
+                "connectivity.merge_tree.build"
+            ] = {
+                "count": count,
+                "wall_total": 0.01,
+                "wall_mean": 0.01 / count,
+                "cpu_total": 0.01,
+                "self_wall_total": 0.01,
+            }
+        _, regressions = compare(base, cur)
+        assert any("connectivity.merge_tree.build.count" in r for r in regressions)
+        # Same drift in the 4-worker cell is cache/scheduling noise.
+        for doc in (base, cur):
+            doc["workloads"]["workers4"] = doc["workloads"].pop("sequential")
+        _, regressions = compare(base, cur)
+        assert not any(
+            "connectivity.merge_tree.build" in r for r in regressions
+        )
+
+    def test_counters_only_skips_wall_and_rate_metrics(self):
+        base = self._with_counters(_payload(wall=1.0, hit_rate=0.8))
+        cur = self._with_counters(_payload(wall=9.0, hit_rate=0.1))
+        rows, regressions = compare(
+            base, cur, threshold=0.25, counters_only=True
+        )
+        assert regressions == []
+        assert rows, "counters-only mode must still compare counts"
+        assert all(r["kind"] in ("count", "bounded") for r in rows)
+
+    def test_tau_sweep_identity_bit_is_enforced(self):
+        base = _payload()
+        cur = _payload()
+        sweep = {
+            "taus": 32,
+            "grid_resolution": 30,
+            "merge_tree_seconds": 0.001,
+            "bfs_seconds": 0.010,
+            "speedup": 10.0,
+            "identical": True,
+        }
+        base["microbench"] = {"tau_sweep": dict(sweep)}
+        cur["microbench"] = {"tau_sweep": dict(sweep, identical=False)}
+        _, regressions = compare(base, cur, counters_only=True)
+        assert any("tau_sweep.identical" in r for r in regressions)
+
 
 class TestRenderDiffTable:
     def test_units_and_alignment(self):
