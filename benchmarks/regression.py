@@ -24,6 +24,9 @@ Workload matrix (``--quick`` halves the sizes and drops a cell):
 * ``workers4``        — ``run_batch(workers=4)`` (worker telemetry ships
   home, so the per-phase aggregate covers worker-side spans too)
 * ``sequential_nocache`` — sequential with the KDE grid cache disabled
+* ``service``         — oracle-driven sessions over the asyncio HTTP
+  session service (real sockets, checkpoint/resume per decision); its
+  request and finished-session counts gate with the other counters
 
 Each cell records wall seconds, queries/second, the KDE cache hit rate,
 the deterministic work counters (``connectivity.flood_fill.calls``,
@@ -194,6 +197,87 @@ def _run_cell(
     }
 
 
+def _run_service_cell(
+    dataset, config, query_indices, *, sessions: int
+) -> dict[str, Any]:
+    """Service lane: oracle-driven sessions over the HTTP service.
+
+    Boots :class:`~repro.service.app.SessionService` on an ephemeral
+    port and fans *sessions* concurrent
+    :class:`~repro.service.client.RemoteSessionDriver` runs at it — the
+    checkpoint/resume-per-decision hot path under real sockets.  The
+    record carries the same deterministic counters as the in-process
+    cells plus two service-level ones (``service_requests``,
+    ``sessions_finished``), all exact for the pinned workload.
+    """
+    import asyncio
+
+    from repro.interaction.oracle import OracleUser
+    from repro.obs.metrics import counter_values
+    from repro.service.app import ServiceRuntime, SessionService
+    from repro.service.client import RemoteSessionDriver, ServiceClient
+
+    chosen = [int(q) for q in query_indices[:sessions]]
+    service = SessionService()
+    service.register_dataset("bench", dataset)
+    before = counter_values()
+    start = time.perf_counter()
+    with ServiceRuntime(service) as runtime:
+
+        async def one(query_index: int) -> int:
+            async with ServiceClient("127.0.0.1", runtime.port) as client:
+                driver = RemoteSessionDriver(
+                    client,
+                    user=OracleUser(dataset, query_index),
+                    config=config,
+                )
+                final = await driver.run("bench", query_index=query_index)
+                if final["type"] != "search_result":
+                    raise AssertionError(
+                        f"session for query {query_index} ended with "
+                        f"{final['type']}"
+                    )
+                return driver.steps
+
+        async def fan_out() -> list[int]:
+            return await asyncio.gather(*(one(qi) for qi in chosen))
+
+        asyncio.run(fan_out())
+    wall = time.perf_counter() - start
+    after = counter_values()
+
+    def delta(name: str) -> float:
+        return after.get(name, 0.0) - before.get(name, 0.0)
+
+    flood_fills = delta("connectivity.flood_fill.calls")
+    tree_builds = delta("connectivity.merge_tree.builds")
+    steps = delta("engine.steps")
+    hits = delta("kde.cache.hit")
+    misses = delta("kde.cache.miss")
+    lookups = hits + misses
+    return {
+        "wall_seconds": wall,
+        "queries_per_second": len(chosen) / wall if wall else 0.0,
+        "cache": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": hits / lookups if lookups else 0.0,
+        },
+        "counters": {
+            "flood_fills": int(flood_fills),
+            "merge_tree_builds": int(tree_builds),
+            "engine_steps": int(steps),
+            "fills_per_step": flood_fills / steps if steps else 0.0,
+            "service_requests": int(delta("service.requests")),
+            "sessions_finished": int(delta("service.sessions.finished")),
+        },
+        # Engine work runs on the server thread, outside the
+        # harness-thread tracer; counters above cover determinism.
+        "phases": {},
+        "sessions": len(chosen),
+    }
+
+
 def run_tau_sweep_microbench(
     dataset, config, *, taus: int = 32, repeats: int = 3
 ) -> dict[str, Any]:
@@ -263,15 +347,23 @@ def run_matrix(
     seed: int = 42,
     quick: bool = False,
     name: str = "core",
+    presized: bool = False,
 ) -> dict[str, Any]:
-    """Run every matrix cell; return the schema-versioned document."""
+    """Run every matrix cell; return the schema-versioned document.
+
+    ``presized`` means *points*/*queries* are final (they came from a
+    recorded baseline's workload section, which already reflects any
+    quick halving); ``quick`` then only trims the cell matrix.  Without
+    it, ``check --quick`` would halve the baseline's already-halved
+    sizes and diff two different workloads.
+    """
     import resource
 
     from repro.core.batch import run_batch
     from repro.density.cache import disabled_density_cache
     from repro.interaction.factories import OracleFactory
 
-    if quick:
+    if quick and not presized:
         points = max(400, points // 2)
         queries = max(8, queries // 2)
     dataset, config, query_indices = _build_workload(points, queries, seed)
@@ -310,6 +402,16 @@ def run_matrix(
             f"({workloads[cell_name]['queries_per_second']:.2f} q/s)",
             flush=True,
         )
+    service_sessions = 4 if quick else 8
+    print(f"  running service ({service_sessions} sessions) ...", flush=True)
+    workloads["service"] = _run_service_cell(
+        dataset, config, query_indices, sessions=service_sessions
+    )
+    print(
+        f"    {workloads['service']['wall_seconds']:.2f}s "
+        f"({workloads['service']['queries_per_second']:.2f} q/s)",
+        flush=True,
+    )
     print("  running tau_sweep microbench ...", flush=True)
     tau_sweep = run_tau_sweep_microbench(dataset, config)
     print(
@@ -442,6 +544,11 @@ def compare(
             # cache; 4-worker scheduling decides which worker sees a
             # repeated grid, so only single-process cells are exact.
             exact.append("merge_tree_builds")
+        if workload == "service":
+            # The HTTP request count (creates + decisions) and the
+            # finished-session count are exact for the pinned oracle
+            # streams — a routing or resume regression moves them.
+            exact += ["service_requests", "sessions_finished"]
         for name in exact:
             if name in base_counters and name in cur_counters:
                 add(
@@ -651,6 +758,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=int(baseline["workload"].get("seed", args.seed)),
         quick=bool(baseline.get("quick", args.quick)),
         name=str(baseline.get("name", args.name)),
+        presized=True,
     )
     rows, regressions = compare(
         baseline,

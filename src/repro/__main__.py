@@ -454,6 +454,81 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio session service (``docs/SERVICE.md``).
+
+    Datasets are declared as ``NAME=PROVENANCE_JSON`` using the same
+    provenance records the journal/replay machinery understands, e.g.::
+
+        python -m repro serve \\
+          --dataset 'demo={"kind":"case1","seed":7,"n_points":500}'
+
+    ``--max-requests N`` exits after *N* handled requests (scripted
+    smoke tests); the default serves until interrupted.
+    """
+    import json as json_module
+    import time
+
+    from repro.exceptions import ReproError
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.replay import dataset_from_provenance
+    from repro.service.app import ServiceRuntime, SessionService
+    from repro.service.store import SpilloverSessionStore
+
+    specs = args.dataset or ['demo={"kind":"case1","seed":7,"n_points":500}']
+    try:
+        store = SpilloverSessionStore(
+            byte_budget=args.byte_budget, spill_dir=args.spill_dir
+        )
+        service = SessionService(store=store, journal_dir=args.journal_dir)
+        for spec in specs:
+            name, sep, raw = spec.partition("=")
+            if not sep or not name:
+                print(
+                    f"--dataset expects NAME=PROVENANCE_JSON, got {spec!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            service.register_dataset(
+                name, dataset_from_provenance(json_module.loads(raw))
+            )
+        recovered = service.recover_sessions()
+    except (ValueError, ReproError) as exc:
+        print(f"cannot configure service: {exc}", file=sys.stderr)
+        return 2
+    try:
+        runtime = ServiceRuntime(
+            service, host=args.host, port=args.port
+        ).start()
+    except (OSError, RuntimeError) as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    names = ", ".join(sorted(service.datasets()))
+    print(
+        f"session service on http://{args.host}:{runtime.port} "
+        f"(datasets: {names}; {recovered} session(s) recovered); "
+        "Ctrl-C to stop",
+        flush=True,
+    )
+
+    def _requests_handled() -> int:
+        state = REGISTRY.snapshot().get("service.requests")
+        return int(state["value"]) if state else 0
+
+    try:
+        while (
+            args.max_requests <= 0
+            or _requests_handled() < args.max_requests
+        ):
+            time.sleep(0.05)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        runtime.stop()
+    print(f"served {_requests_handled()} request(s)")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro import SearchConfig
@@ -659,6 +734,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after N requests (0 = serve until interrupted)",
     )
     serve.set_defaults(func=_cmd_serve_metrics)
+
+    service = sub.add_parser(
+        "serve",
+        help="run the asyncio interactive-session service over HTTP",
+        parents=[common],
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=8472,
+        help="TCP port to bind (0 = ephemeral; default: 8472)",
+    )
+    service.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address"
+    )
+    service.add_argument(
+        "--dataset",
+        action="append",
+        metavar="NAME=PROVENANCE_JSON",
+        help="register a dataset by provenance record (repeatable); "
+        'default: demo={"kind":"case1","seed":7,"n_points":500}',
+    )
+    service.add_argument(
+        "--byte-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="in-memory checkpoint budget; LRU sessions spill to "
+        "--spill-dir beyond it (default: unbounded)",
+    )
+    service.add_argument(
+        "--spill-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="directory for spilled/recovered checkpoints (sessions "
+        "survive restarts when set)",
+    )
+    service.add_argument(
+        "--journal-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="write a replayable flight-recorder journal per session",
+    )
+    service.add_argument(
+        "--max-requests",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit after N handled requests (0 = serve until interrupted)",
+    )
+    service.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -395,6 +395,37 @@ def checkpoint_to_dict(engine: SearchEngine) -> dict[str, Any]:
         return payload
 
 
+def checkpoint_to_bytes(engine: SearchEngine) -> bytes:
+    """Serialize a suspended engine to canonical UTF-8 JSON bytes.
+
+    The byte-level accessor the session service stores under its
+    :class:`~repro.service.store.SessionStore` protocol; equal engine
+    states produce equal bytes (keys are sorted).
+    """
+    return json.dumps(
+        checkpoint_to_dict(engine), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def checkpoint_from_bytes(payload: bytes) -> dict[str, Any]:
+    """Parse checkpoint bytes back into a validated dictionary.
+
+    Raises
+    ------
+    repro.exceptions.CheckpointError
+        If the bytes are not valid JSON or fail checkpoint validation —
+        one exception type for "truncated", "corrupt", and "not a
+        checkpoint at all", so the service can map them to one clean
+        HTTP 410.
+    """
+    try:
+        parsed = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint bytes are not JSON: {exc}") from exc
+    _validate_checkpoint(parsed)
+    return parsed
+
+
 def save_checkpoint(engine: SearchEngine, path: str | Path) -> Path:
     """Write a suspended engine's checkpoint as JSON."""
     path = Path(path)

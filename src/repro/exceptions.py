@@ -50,3 +50,17 @@ class JournalError(ReproError):
     """A session journal is truncated, corrupt, of an unsupported
     schema version, or inconsistent with the checkpoint cursor it is
     being appended after."""
+
+
+class ServiceError(ReproError):
+    """The session service cannot satisfy a request.
+
+    Carries the HTTP status code and a stable machine-readable error
+    code so handlers can render a uniform error envelope.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = str(code)
+        self.message = str(message)

@@ -50,6 +50,7 @@ from repro.obs.registry import SESSIONS
 __all__ = [
     "render_openmetrics",
     "render_openmetrics_snapshot",
+    "render_live_openmetrics",
     "write_metrics",
     "render_metrics_digest",
     "MetricsServer",
@@ -191,6 +192,27 @@ def render_openmetrics(
     return render_openmetrics_snapshot(
         reg.snapshot(), prefix=prefix, quantiles=quantiles
     )
+
+
+def render_live_openmetrics(
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = DEFAULT_PREFIX,
+) -> str:
+    """Render the live registry with per-session series appended.
+
+    The per-session labeled gauge series from
+    :data:`~repro.obs.registry.SESSIONS` are spliced in before the
+    ``# EOF`` terminator — the exposition both the ``serve-metrics``
+    endpoint and the asyncio session service's ``/metrics`` serve.
+    """
+    text = render_openmetrics(registry, prefix=prefix)
+    session_lines = SESSIONS.openmetrics_lines(prefix=prefix)
+    if not session_lines:
+        return text
+    eof = "# EOF\n"
+    assert text.endswith(eof)
+    return text[: -len(eof)] + "\n".join(session_lines) + "\n" + eof
 
 
 #: File suffixes that select the text exposition format.
@@ -388,17 +410,11 @@ class MetricsServer(ThreadingHTTPServer):
         snapshot belongs to another process, whose sessions are gone,
         so nothing is appended there.
         """
-        text = render_openmetrics_snapshot(
-            self._snapshot(), prefix=self._prefix
-        )
         if self._snapshot_payload is not None:
-            return text
-        session_lines = SESSIONS.openmetrics_lines(prefix=self._prefix)
-        if not session_lines:
-            return text
-        eof = "# EOF\n"
-        assert text.endswith(eof)
-        return text[: -len(eof)] + "\n".join(session_lines) + "\n" + eof
+            return render_openmetrics_snapshot(
+                self._snapshot(), prefix=self._prefix
+            )
+        return render_live_openmetrics(self._registry, prefix=self._prefix)
 
     def health_payload(self) -> dict[str, Any]:
         """The ``/healthz`` document (liveness + schema identity)."""

@@ -45,6 +45,10 @@ DEFAULT_MAX_FINISHED = 256
 _LIVE = gauge("sessions.live")
 _SUSPENDED = gauge("sessions.suspended")
 _FINISHED = counter("sessions.finished")
+_FAILED = counter("sessions.failed")
+
+#: Terminal states — no further transitions are accepted.
+_TERMINAL = ("finished", "failed")
 
 
 @dataclass
@@ -55,7 +59,7 @@ class SessionInfo:
     dataset: str
     n_points: int
     dim: int
-    state: str  # "live" | "suspended" | "finished"
+    state: str  # "live" | "suspended" | "finished" | "failed"
     created: float  # monotonic
     created_unix: float
     last_transition: float = 0.0  # monotonic
@@ -129,7 +133,7 @@ class SessionRegistry:
         """A view was emitted (the engine suspended awaiting a decision)."""
         with self._lock:
             info = self._sessions.get(session_id)
-            if info is None or info.state == "finished":
+            if info is None or info.state in _TERMINAL:
                 return
             info.views += 1
             info.steps = max(info.steps, int(step))
@@ -141,7 +145,7 @@ class SessionRegistry:
         """A decision was submitted (the engine is advancing)."""
         with self._lock:
             info = self._sessions.get(session_id)
-            if info is None or info.state == "finished":
+            if info is None or info.state in _TERMINAL:
                 return
             info.last_transition = time.monotonic()
 
@@ -149,7 +153,7 @@ class SessionRegistry:
         """The session was checkpointed / abandoned while unfinished."""
         with self._lock:
             info = self._sessions.get(session_id)
-            if info is None or info.state == "finished":
+            if info is None or info.state in _TERMINAL:
                 return
             info.state = "suspended"
             info.last_transition = time.monotonic()
@@ -159,7 +163,7 @@ class SessionRegistry:
         """The session produced its terminal result."""
         with self._lock:
             info = self._sessions.get(session_id)
-            if info is None or info.state == "finished":
+            if info is None or info.state in _TERMINAL:
                 return
             info.state = "finished"
             info.reason = reason
@@ -171,13 +175,52 @@ class SessionRegistry:
                 self._sessions.pop(evicted, None)
             self._refresh_gauges_locked()
 
+    def fail(self, session_id: str, *, reason: str) -> None:
+        """The session was lost (corrupt checkpoint, dead store, ...).
+
+        ``failed`` is terminal like ``finished`` and shares its bounded
+        retention history; the cumulative total is the
+        ``sessions.failed`` counter.
+        """
+        with self._lock:
+            info = self._sessions.get(session_id)
+            if info is None or info.state in _TERMINAL:
+                return
+            info.state = "failed"
+            info.reason = reason
+            info.last_transition = time.monotonic()
+            self._finished_order.append(session_id)
+            _FAILED.inc()
+            while len(self._finished_order) > self._max_finished:
+                evicted = self._finished_order.pop(0)
+                self._sessions.pop(evicted, None)
+            self._refresh_gauges_locked()
+
+    def forget(self, session_id: str) -> None:
+        """Drop a session entirely (no counter is incremented).
+
+        The session service resumes each suspended engine under a fresh
+        registry id per request; forgetting the superseded id keeps the
+        registry (and the per-session metric series) from accumulating
+        one dead entry per decision.
+        """
+        with self._lock:
+            if self._sessions.pop(session_id, None) is None:
+                return
+            try:
+                self._finished_order.remove(session_id)
+            except ValueError:
+                pass
+            self._refresh_gauges_locked()
+
     # -- introspection --------------------------------------------------
     def counts(self) -> dict[str, int]:
-        """Current ``{"live": ..., "suspended": ..., "finished": ...}``.
+        """Current ``{"live": ..., "suspended": ..., "finished": ...,
+        "failed": ...}``.
 
-        ``finished`` counts the *retained* history (bounded by
-        ``max_finished``); the cumulative total is the
-        ``sessions.finished`` counter.
+        ``finished``/``failed`` count the *retained* history (bounded
+        by ``max_finished``); the cumulative totals are the
+        ``sessions.finished`` / ``sessions.failed`` counters.
         """
         with self._lock:
             return self._counts_locked()
@@ -205,7 +248,7 @@ class SessionRegistry:
                 for info in sorted(
                     self._sessions.values(), key=lambda i: i.session_id
                 )
-                if info.state != "finished"
+                if info.state not in _TERMINAL
             ]
         if not active:
             return []
@@ -248,7 +291,7 @@ class SessionRegistry:
 
     # -- internals ------------------------------------------------------
     def _counts_locked(self) -> dict[str, int]:
-        counts = {"live": 0, "suspended": 0, "finished": 0}
+        counts = {"live": 0, "suspended": 0, "finished": 0, "failed": 0}
         for info in self._sessions.values():
             counts[info.state] += 1
         return counts

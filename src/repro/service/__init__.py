@@ -1,0 +1,22 @@
+"""Asyncio HTTP session service for interactive searches (ROADMAP item 1).
+
+The paper's loop is human-in-the-loop by construction; this package
+serves it to *remote* humans (or simulated ones): thousands of
+concurrent sessions against shared datasets, each suspended between
+requests as a lossless engine checkpoint.  Start with
+``python -m repro serve`` or embed :class:`~repro.service.app.SessionService`
+directly; ``docs/SERVICE.md`` has the endpoint reference.
+"""
+
+from repro.service.app import ServiceRuntime, SessionService
+from repro.service.client import RemoteSessionDriver, ServiceClient
+from repro.service.store import SessionStore, SpilloverSessionStore
+
+__all__ = [
+    "SessionService",
+    "ServiceRuntime",
+    "ServiceClient",
+    "RemoteSessionDriver",
+    "SessionStore",
+    "SpilloverSessionStore",
+]

@@ -1,0 +1,244 @@
+"""Asyncio client for the session service.
+
+Raw ``asyncio.open_connection`` sockets speaking the same minimal
+HTTP/1.1 the server does — no stdlib ``urllib`` (blocking) and no
+third-party client.  One :class:`ServiceClient` holds one keep-alive
+connection; fan out by creating many clients (the load benchmark runs
+hundreds concurrently on one loop).
+
+:class:`RemoteSessionDriver` closes the interaction loop remotely: it
+creates a session with full view detail, rebuilds each
+:class:`~repro.interaction.base.ProjectionView` locally via
+:func:`~repro.service.wire.view_from_event`, asks an ordinary
+:class:`~repro.interaction.base.UserAgent` to decide, and posts the
+decision back — so the simulated humans
+(:class:`~repro.interaction.simulated.HeuristicUser` /
+:class:`~repro.interaction.oracle.OracleUser`) drive remote sessions
+unchanged, and produce byte-identical runs (the view reconstruction is
+deterministic; see :mod:`repro.service.wire`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.core.config import SearchConfig
+from repro.exceptions import ServiceError
+from repro.interaction.base import UserAgent, validate_decision
+from repro.service.wire import decision_to_payload, view_from_event
+
+__all__ = ["ServiceClient", "RemoteSessionDriver", "ServiceClientError"]
+
+
+class ServiceClientError(ServiceError):
+    """An error envelope (or malformed response) received by the client."""
+
+
+class ServiceClient:
+    """One keep-alive HTTP/1.1 connection to the service."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- request/response -----------------------------------------------
+    async def request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, Any]:
+        """Send one request; returns ``(status, decoded JSON | bytes)``.
+
+        Reconnects once if the pooled connection was dropped between
+        requests (server restart, keep-alive timeout).
+        """
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        try:
+            return await self._roundtrip(method, path, payload)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            await self.close()
+            await self.connect()
+            return await self._roundtrip(method, path, payload)
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: Any | None
+    ) -> tuple[int, Any]:
+        assert self._reader is not None and self._writer is not None
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("ascii")
+        self._writer.write(head + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readuntil(b"\n")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ServiceClientError(
+                502, "malformed_response", f"bad status line {status_line!r}"
+            )
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readuntil(b"\n")
+            stripped = line.strip()
+            if not stripped:
+                break
+            name, _, value = stripped.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length)
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        if "json" in headers.get("content-type", ""):
+            return status, json.loads(raw.decode("utf-8")) if raw else None
+        return status, raw
+
+    async def expect(
+        self,
+        expected_status: int,
+        method: str,
+        path: str,
+        payload: Any | None = None,
+    ) -> Any:
+        """Request and assert the status, raising the error envelope."""
+        status, decoded = await self.request(method, path, payload)
+        if status != expected_status:
+            code = "unexpected_status"
+            message = (
+                f"{method} {path}: expected {expected_status}, got {status}"
+            )
+            if isinstance(decoded, dict) and isinstance(
+                decoded.get("error"), dict
+            ):
+                envelope = decoded["error"]
+                code = str(envelope.get("code", code))
+                message = f"{message}: {envelope.get('message')}"
+            raise ServiceClientError(status, code, message)
+        return decoded
+
+
+class RemoteSessionDriver:
+    """Run a full interactive search against a remote service.
+
+    Parameters
+    ----------
+    client:
+        A connected (or connectable) :class:`ServiceClient`.
+    user:
+        Any local :class:`~repro.interaction.base.UserAgent`; its
+        decisions are translated to wire payloads.
+    config:
+        The engine config to request — also used locally to rebuild
+        each view's density profile (grid resolution and bandwidth
+        must match the server's, and do, because both come from here).
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        *,
+        user: UserAgent,
+        config: SearchConfig | None = None,
+    ) -> None:
+        self._client = client
+        self._user = user
+        self._config = config if config is not None else SearchConfig()
+        self.session_id: str | None = None
+        self.steps = 0
+        #: Per-view engine RNG digests, in step order — distinct streams
+        #: across concurrent sessions prove state isolation.
+        self.rng_digests: list[str] = []
+
+    def _config_payload(self) -> dict[str, Any]:
+        c = self._config
+        return {
+            "support": c.support,
+            "axis_parallel": c.axis_parallel,
+            "grid_resolution": c.grid_resolution,
+            "bandwidth_scale": c.bandwidth_scale,
+            "overlap_threshold": c.overlap_threshold,
+            "min_major_iterations": c.min_major_iterations,
+            "max_major_iterations": c.max_major_iterations,
+            "projection_restarts": c.projection_restarts,
+            "projection_weight": c.projection_weight,
+            "remove_unpicked": c.remove_unpicked,
+            "use_live_population": c.use_live_population,
+            "rng_seed": c.rng_seed,
+        }
+
+    async def run(
+        self,
+        dataset: str,
+        *,
+        query: list[float] | None = None,
+        query_index: int | None = None,
+        provenance: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Create a session and drive it to its terminal result event."""
+        body: dict[str, Any] = {
+            "dataset": dataset,
+            "config": self._config_payload(),
+            "view": "full",
+        }
+        if query is not None:
+            body["query"] = query
+        if query_index is not None:
+            body["query_index"] = query_index
+        if provenance is not None:
+            body["provenance"] = provenance
+        created = await self._client.expect(201, "POST", "/sessions", body)
+        self.session_id = created["session"]
+        event = created["event"]
+        while event["type"] == "view_request":
+            self.rng_digests.append(event["rng_digest"])
+            view = view_from_event(event, self._config)
+            decision = validate_decision(self._user.review_view(view), view)
+            payload = decision_to_payload(
+                decision, view, step=event["step"]
+            )
+            response = await self._client.expect(
+                200,
+                "POST",
+                f"/sessions/{self.session_id}/decision",
+                payload,
+            )
+            event = response["event"]
+            self.steps += 1
+        return event

@@ -206,6 +206,7 @@ class TestHealthAndSessions:
                 "live",
                 "suspended",
                 "finished",
+                "failed",
             }
         finally:
             server.stop()

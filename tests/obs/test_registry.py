@@ -22,7 +22,7 @@ class TestTransitions:
         registry = SessionRegistry()
         sid = _register(registry)
         assert sid.startswith("s")
-        assert registry.counts() == {"live": 1, "suspended": 0, "finished": 0}
+        assert registry.counts() == {"live": 1, "suspended": 0, "finished": 0, "failed": 0}
 
     def test_view_and_decision_track_progress(self):
         registry = SessionRegistry()
@@ -42,7 +42,7 @@ class TestTransitions:
         assert registry.counts()["suspended"] == 1
         registry.finish(sid, reason="top_set_stable")
         counts = registry.counts()
-        assert counts == {"live": 0, "suspended": 0, "finished": 1}
+        assert counts == {"live": 0, "suspended": 0, "finished": 1, "failed": 0}
         (info,) = registry.snapshot()
         assert info["reason"] == "top_set_stable"
 
@@ -61,14 +61,59 @@ class TestTransitions:
         registry.note_decision("s999999")
         registry.suspend("s999999")
         registry.finish("s999999", reason="x")
-        assert registry.counts() == {"live": 0, "suspended": 0, "finished": 0}
+        assert registry.counts() == {"live": 0, "suspended": 0, "finished": 0, "failed": 0}
 
     def test_reset_forgets_everything(self):
         registry = SessionRegistry()
         _register(registry)
         registry.reset()
-        assert registry.counts() == {"live": 0, "suspended": 0, "finished": 0}
+        assert registry.counts() == {"live": 0, "suspended": 0, "finished": 0, "failed": 0}
         assert registry.snapshot() == []
+
+
+class TestFailAndForget:
+    def test_fail_is_terminal_and_counted(self):
+        registry = SessionRegistry()
+        sid = _register(registry)
+        registry.fail(sid, reason="checkpoint_corrupt")
+        counts = registry.counts()
+        assert counts == {"live": 0, "suspended": 0, "finished": 0, "failed": 1}
+        registry.note_view(sid, step=3)  # late report: ignored
+        registry.finish(sid, reason="done")  # cannot un-fail
+        (info,) = registry.snapshot()
+        assert info["state"] == "failed"
+        assert info["reason"] == "checkpoint_corrupt"
+
+    def test_failed_sessions_share_bounded_history(self):
+        registry = SessionRegistry(max_finished=2)
+        sids = [_register(registry) for _ in range(3)]
+        registry.fail(sids[0], reason="x")
+        registry.finish(sids[1], reason="done")
+        registry.fail(sids[2], reason="y")
+        retained = {info["session_id"] for info in registry.snapshot()}
+        assert retained == set(sids[1:])
+
+    def test_forget_drops_without_counting(self):
+        from repro.obs.metrics import counter
+
+        registry = SessionRegistry()
+        sid = _register(registry)
+        finished_before = counter("sessions.finished").value
+        failed_before = counter("sessions.failed").value
+        registry.forget(sid)
+        assert registry.snapshot() == []
+        assert counter("sessions.finished").value == finished_before
+        assert counter("sessions.failed").value == failed_before
+        registry.forget("s999999")  # unknown id: no-op
+
+    def test_openmetrics_excludes_failed(self):
+        registry = SessionRegistry()
+        live = _register(registry)
+        lost = _register(registry)
+        registry.fail(lost, reason="gone")
+        text = "\n".join(registry.openmetrics_lines())
+        assert f'session="{live}"' in text
+        assert f'session="{lost}"' not in text
 
 
 class TestEviction:
