@@ -22,6 +22,12 @@ run opened, which upper-bounds what the untraced run actually paid.
 A second lane measures the *enabled* cost of the session flight
 recorder (``repro.obs.journal``): an identical engine run with and
 without a journal attached, best-of-3, held to the same 5% bound.
+
+A third lane prices the session service's per-request observation hook
+(labeled per-route metrics + SLO window accounting, access log
+disabled — the production default) against the real cost of a service
+request measured over sockets, held to the same 5% bound; the
+access-log-enabled write cost is reported alongside for reference.
 """
 
 from __future__ import annotations
@@ -190,6 +196,107 @@ def test_journal_overhead(results_dir, tmp_path):
         f"journaling overhead {overhead:.2%} exceeds "
         f"{MAX_OVERHEAD_FRACTION:.0%} "
         f"({plain_best:.3f}s plain vs {journaled_best:.3f}s journaled)"
+    )
+
+
+def test_request_observation_overhead(results_dir, tmp_path):
+    """Labeled metrics + SLO accounting stay under 5% of a request.
+
+    ``SessionService._observe_request`` runs once per HTTP request:
+    two bounded-cardinality labeled instruments, one histogram
+    observation, and one SLO ring-buffer update (plus a JSONL line
+    when the access log is on).  This lane measures its per-call cost
+    directly — access log disabled, the production default — and holds
+    it to :data:`MAX_OVERHEAD_FRACTION` of the *real* mean request
+    cost, measured by driving a small session fleet over sockets.
+    """
+    import asyncio
+
+    from repro.data.synthetic import case1_dataset
+    from repro.obs import AccessLogWriter
+    from repro.service.app import ServiceRuntime, SessionService
+    from repro.service.client import RemoteSessionDriver, ServiceClient
+
+    ds = case1_dataset(np.random.default_rng(17), n_points=200).dataset
+    config = SearchConfig(
+        support=8,
+        grid_resolution=24,
+        min_major_iterations=1,
+        max_major_iterations=1,
+        projection_restarts=2,
+    )
+    service = SessionService()
+    service.register_dataset("bench", ds)
+    n_sessions = 8
+
+    async def one(port: int, index: int) -> int:
+        async with ServiceClient("127.0.0.1", port) as client:
+            driver = RemoteSessionDriver(
+                client, user=OracleUser(ds, index), config=config
+            )
+            await driver.run("bench", query_index=index)
+            return driver.steps
+
+    async def fleet(port: int) -> int:
+        steps = await asyncio.gather(
+            *(one(port, i) for i in range(n_sessions))
+        )
+        return sum(steps) + n_sessions  # one create + one POST per step
+
+    with ServiceRuntime(service) as runtime:
+        start = time.perf_counter()
+        requests = asyncio.run(fleet(runtime.port))
+        wall = time.perf_counter() - start
+    mean_request_seconds = wall / requests
+
+    observe_kwargs = dict(
+        method="POST",
+        path="/sessions/sess-0123456789abcdef/decision",
+        route="/sessions/{id}/decision",
+        status=200,
+        elapsed=0.012,
+        bytes_in=512,
+        bytes_out=2048,
+        request_id="req-benchbenchbenchbe",
+        session_id="sess-0123456789abcdef",
+    )
+
+    iterations = 50_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        service._observe_request(**observe_kwargs)
+    per_call_disabled = (time.perf_counter() - start) / iterations
+
+    logged = SessionService(
+        access_log=AccessLogWriter(tmp_path / "bench_access.jsonl")
+    )
+    log_iterations = 5_000
+    start = time.perf_counter()
+    for _ in range(log_iterations):
+        logged._observe_request(**observe_kwargs)
+    per_call_logged = (time.perf_counter() - start) / log_iterations
+    logged.close()
+
+    fraction = per_call_disabled / mean_request_seconds
+    report(
+        "request_observation_overhead",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["service requests timed", requests],
+                ["mean request (ms)", f"{mean_request_seconds * 1e3:.2f}"],
+                ["observe, no access log (ns)", f"{per_call_disabled * 1e9:.0f}"],
+                ["observe + access log (ns)", f"{per_call_logged * 1e9:.0f}"],
+                ["overhead fraction", f"{fraction:.4%}"],
+                ["bound", f"{MAX_OVERHEAD_FRACTION:.0%}"],
+            ],
+        ),
+    )
+
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"per-request observation overhead {fraction:.2%} exceeds "
+        f"{MAX_OVERHEAD_FRACTION:.0%} ({per_call_disabled * 1e9:.0f} ns "
+        f"per call vs {mean_request_seconds * 1e3:.2f} ms per request)"
     )
 
 

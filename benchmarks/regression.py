@@ -207,8 +207,11 @@ def _run_service_cell(
     :class:`~repro.service.client.RemoteSessionDriver` runs at it — the
     checkpoint/resume-per-decision hot path under real sockets.  The
     record carries the same deterministic counters as the in-process
-    cells plus two service-level ones (``service_requests``,
-    ``sessions_finished``), all exact for the pinned workload.
+    cells plus three service-level ones (``service_requests``,
+    ``service_errors``, ``sessions_finished``), all exact for the
+    pinned workload, and the count of routes whose availability burn
+    state left ``ok`` (exact 0 for a healthy run — a 5xx anywhere on
+    the hot path trips it).
     """
     import asyncio
 
@@ -245,6 +248,12 @@ def _run_service_cell(
         asyncio.run(fan_out())
     wall = time.perf_counter() - start
     after = counter_values()
+    slo_routes = service.slo.snapshot()["routes"]
+    slo_unavailable = sum(
+        1
+        for entry in slo_routes.values()
+        if entry["availability_state"] != "ok"
+    )
 
     def delta(name: str) -> float:
         return after.get(name, 0.0) - before.get(name, 0.0)
@@ -269,7 +278,9 @@ def _run_service_cell(
             "engine_steps": int(steps),
             "fills_per_step": flood_fills / steps if steps else 0.0,
             "service_requests": int(delta("service.requests")),
+            "service_errors": int(delta("service.errors")),
             "sessions_finished": int(delta("service.sessions.finished")),
+            "slo_routes_unavailable": slo_unavailable,
         },
         # Engine work runs on the server thread, outside the
         # harness-thread tracer; counters above cover determinism.
@@ -545,10 +556,18 @@ def compare(
             # repeated grid, so only single-process cells are exact.
             exact.append("merge_tree_builds")
         if workload == "service":
-            # The HTTP request count (creates + decisions) and the
-            # finished-session count are exact for the pinned oracle
-            # streams — a routing or resume regression moves them.
-            exact += ["service_requests", "sessions_finished"]
+            # The HTTP request count (creates + decisions), the error
+            # count (exact 0: every response on the pinned oracle path
+            # is a success), the finished-session count, and the number
+            # of routes burning availability budget (exact 0 likewise)
+            # are exact for the pinned oracle streams — a routing,
+            # resume, or error-path regression moves them.
+            exact += [
+                "service_requests",
+                "service_errors",
+                "sessions_finished",
+                "slo_routes_unavailable",
+            ]
         for name in exact:
             if name in base_counters and name in cur_counters:
                 add(

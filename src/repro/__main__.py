@@ -480,7 +480,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store = SpilloverSessionStore(
             byte_budget=args.byte_budget, spill_dir=args.spill_dir
         )
-        service = SessionService(store=store, journal_dir=args.journal_dir)
+        service = SessionService(
+            store=store,
+            journal_dir=args.journal_dir,
+            access_log=args.access_log,
+        )
         for spec in specs:
             name, sep, raw = spec.partition("=")
             if not sep or not name:
@@ -525,6 +529,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         runtime.stop()
+        service.close()
     print(f"served {_requests_handled()} request(s)")
     return 0
 
@@ -778,6 +783,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="write a replayable flight-recorder journal per session",
+    )
+    service.add_argument(
+        "--access-log",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append a structured JSONL access log (request id, route, "
+        "status, latency, byte counts) to PATH",
     )
     service.add_argument(
         "--max-requests",

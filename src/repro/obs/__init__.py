@@ -25,6 +25,10 @@ Three cooperating pieces:
 * :mod:`repro.obs.registry` — the process-wide
   :class:`~repro.obs.registry.SessionRegistry` of live / suspended /
   finished engine sessions.
+* :mod:`repro.obs.labels` — bounded-cardinality labeled metric
+  families encoded into the flat registry namespace.
+* :mod:`repro.obs.slo` — declarative per-route availability/latency
+  objectives with multi-window error-budget burn-rate evaluation.
 
 Quick start::
 
@@ -56,7 +60,16 @@ from repro.obs.journal import (
     journal_summary,
     read_journal,
 )
-from repro.obs.logging import configure_logging, get_logger
+from repro.obs.labels import (
+    DEFAULT_MAX_SERIES,
+    OVERFLOW_VALUE,
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
+    encode_labels,
+    parse_labeled_name,
+)
+from repro.obs.logging import AccessLogWriter, configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -84,6 +97,11 @@ from repro.obs.replay import (
     ReplayReport,
     inspect_journal,
     replay_journal,
+)
+from repro.obs.slo import (
+    DEFAULT_SERVICE_OBJECTIVES,
+    SloObjective,
+    SloTracker,
 )
 from repro.obs.snapshot import (
     HistogramDelta,
@@ -148,9 +166,22 @@ __all__ = [
     "write_metrics",
     "MetricsServer",
     "start_metrics_server",
+    # labeled metric families
+    "LabeledCounter",
+    "LabeledGauge",
+    "LabeledHistogram",
+    "encode_labels",
+    "parse_labeled_name",
+    "OVERFLOW_VALUE",
+    "DEFAULT_MAX_SERIES",
+    # SLOs
+    "SloTracker",
+    "SloObjective",
+    "DEFAULT_SERVICE_OBJECTIVES",
     # logging
     "get_logger",
     "configure_logging",
+    "AccessLogWriter",
     # journal (session flight recorder)
     "SessionJournal",
     "JournalRecord",

@@ -204,6 +204,7 @@ class SessionJournal:
         self._seq = seq
         self._chain = chain
         self._offset = handle.tell()
+        self._context: dict[str, Any] = {}
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -298,10 +299,28 @@ class SessionJournal:
         """The append position checkpoints embed (seq, chain, offset)."""
         return {"seq": self._seq, "chain": self._chain, "offset": self._offset}
 
+    def set_context(self, **context: Any) -> None:
+        """Attach ambient correlation context to subsequent records.
+
+        Every record written after this call carries a ``ctx`` key in
+        its payload with the given fields (e.g. ``request_id=...`` so a
+        journal transition joins to the HTTP request that caused it).
+        Context lives *inside* the payload, so the hash chain and every
+        existing reader/replayer are untouched.  Passing ``None`` for a
+        field removes it; an empty context writes no ``ctx`` key.
+        """
+        for key, value in context.items():
+            if value is None:
+                self._context.pop(key, None)
+            else:
+                self._context[key] = value
+
     # -- writing --------------------------------------------------------
     def _append(self, rtype: str, payload: dict[str, Any]) -> int:
         if self._handle is None:
             raise JournalError(f"journal {self._path} is closed")
+        if self._context:
+            payload = {**payload, "ctx": dict(self._context)}
         record = {
             "seq": self._seq + 1,
             "type": rtype,

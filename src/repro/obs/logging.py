@@ -17,11 +17,19 @@ Loggers are namespaced by layer::
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
-from typing import TextIO
+import threading
+from pathlib import Path
+from typing import Any, TextIO
 
-__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "AccessLogWriter",
+    "ROOT_LOGGER_NAME",
+]
 
 ROOT_LOGGER_NAME = "repro"
 
@@ -84,3 +92,55 @@ def configure_logging(
     root.addHandler(handler)
     root.setLevel(level)
     return root
+
+
+class AccessLogWriter:
+    """Append-only JSONL access log (``serve --access-log``).
+
+    One JSON object per line, written with sorted keys and flushed per
+    entry so a crashed or killed server leaves complete lines behind —
+    the log is a forensic artifact (CI uploads it on failure), not a
+    best-effort stream.  Thread-safe: the service event loop and test
+    threads may both write.
+
+    Accepts either a path (opened in append mode, owned and closed by
+    this writer) or an existing text stream (borrowed, left open).
+    """
+
+    def __init__(self, destination: str | Path | TextIO) -> None:
+        self._lock = threading.Lock()
+        if isinstance(destination, (str, Path)):
+            self.path: Path | None = Path(destination)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle: TextIO = self.path.open("a", encoding="utf-8")
+            self._owned = True
+        else:
+            self.path = None
+            self._handle = destination
+            self._owned = False
+        self._closed = False
+        self.lines_written = 0
+
+    def write(self, entry: dict[str, Any]) -> None:
+        """Append one access-log record (no-op after :meth:`close`)."""
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.lines_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._owned:
+                self._handle.close()
+
+    def __enter__(self) -> "AccessLogWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -434,6 +434,12 @@ def _timeline_line(record: JournalRecord, t0: float) -> str:
         )
     else:  # pragma: no cover - future record types
         body = "(unknown record type)"
+    ctx = p.get("ctx")
+    if isinstance(ctx, dict) and ctx.get("request_id"):
+        # Correlation handle stamped by the session service: joins this
+        # record to the HTTP request (access-log line, span, envelope)
+        # that caused it.
+        body += f"  req={ctx['request_id']}"
     return f"{head} {body}"
 
 

@@ -1,0 +1,416 @@
+"""Per-route SLOs: error budgets and multi-window burn-rate alerts.
+
+The session service promises interactive latency — the paper's whole
+premise is a human waiting on each view — so "is the service healthy?"
+must be answerable as *"are we inside our objectives, and how fast are
+we spending the error budget?"*, not as a raw request counter.
+
+Each :class:`SloObjective` declares, per route template:
+
+* an **availability** target (fraction of requests that must not fail
+  with a 5xx — client errors spend no budget), and
+* a **latency** target (fraction of requests that must complete under
+  a threshold).
+
+A :class:`SloTracker` folds every request into per-second ring buffers
+and evaluates the classic multi-window **burn rate**: with a budget of
+``1 - target``, a burn rate of 1.0 spends exactly the whole budget
+over the objective period; sustained rates far above 1 are paged on
+quickly (fast burn over a short window), mild overspending on slowly
+(slow burn over a long window).  The default thresholds are the
+Google-SRE-workbook pair — 14.4x over 5 minutes, 6x over 1 hour.
+
+Everything takes an explicit ``now`` (monotonic seconds) so the burn
+arithmetic is unit-testable without sleeping; live callers omit it.
+The tracker renders three surfaces: a JSON snapshot (``GET /slo``),
+a compact state dict for ``/healthz``, and OpenMetrics gauge lines
+spliced into the ``/metrics`` exposition.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = [
+    "SloObjective",
+    "SloTracker",
+    "DEFAULT_SERVICE_OBJECTIVES",
+    "STATE_OK",
+    "STATE_SLOW_BURN",
+    "STATE_FAST_BURN",
+    "DEFAULT_FAST_WINDOW_SECONDS",
+    "DEFAULT_SLOW_WINDOW_SECONDS",
+    "DEFAULT_FAST_BURN_THRESHOLD",
+    "DEFAULT_SLOW_BURN_THRESHOLD",
+]
+
+STATE_OK = "ok"
+STATE_SLOW_BURN = "slow_burn"
+STATE_FAST_BURN = "fast_burn"
+
+#: Severity order used when folding route states into one.
+_STATE_RANK = {STATE_OK: 0, STATE_SLOW_BURN: 1, STATE_FAST_BURN: 2}
+
+#: Short window for the fast-burn alert (seconds).
+DEFAULT_FAST_WINDOW_SECONDS = 300
+#: Long window for the slow-burn alert and budget accounting (seconds).
+DEFAULT_SLOW_WINDOW_SECONDS = 3600
+#: Burn rate over the fast window that trips ``fast_burn``.
+DEFAULT_FAST_BURN_THRESHOLD = 14.4
+#: Burn rate over the slow window that trips ``slow_burn``.
+DEFAULT_SLOW_BURN_THRESHOLD = 6.0
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """Declarative availability + latency objective for one route."""
+
+    route: str
+    availability: float = 0.999
+    latency_threshold_seconds: float = 1.0
+    latency_target: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability < 1.0:
+            raise ValueError("availability target must be in (0, 1)")
+        if not 0.0 < self.latency_target < 1.0:
+            raise ValueError("latency target must be in (0, 1)")
+        if self.latency_threshold_seconds <= 0:
+            raise ValueError("latency threshold must be positive")
+
+
+#: Objectives the session service tracks out of the box.  Engine
+#: routes (create/decide) run real projection searches per request, so
+#: their latency thresholds are generous; introspection routes must be
+#: snappy.  Availability is uniform: one 5xx per thousand requests.
+DEFAULT_SERVICE_OBJECTIVES: tuple[SloObjective, ...] = (
+    SloObjective(
+        "/sessions",
+        availability=0.999,
+        latency_threshold_seconds=2.0,
+        latency_target=0.95,
+    ),
+    SloObjective(
+        "/sessions/{id}/decision",
+        availability=0.999,
+        latency_threshold_seconds=2.0,
+        latency_target=0.95,
+    ),
+    SloObjective(
+        "/sessions/{id}",
+        availability=0.999,
+        latency_threshold_seconds=1.0,
+        latency_target=0.99,
+    ),
+    SloObjective(
+        "/healthz",
+        availability=0.999,
+        latency_threshold_seconds=1.0,
+        latency_target=0.99,
+    ),
+)
+
+
+class _SecondRing:
+    """Per-second (total, errors, slow) buckets over a fixed horizon."""
+
+    __slots__ = ("_size", "_seconds", "_totals", "_errors", "_slow")
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._seconds = [-1] * size
+        self._totals = [0] * size
+        self._errors = [0] * size
+        self._slow = [0] * size
+
+    def record(self, now: float, *, error: bool, slow: bool) -> None:
+        second = int(now)
+        index = second % self._size
+        if self._seconds[index] != second:
+            self._seconds[index] = second
+            self._totals[index] = 0
+            self._errors[index] = 0
+            self._slow[index] = 0
+        self._totals[index] += 1
+        if error:
+            self._errors[index] += 1
+        if slow:
+            self._slow[index] += 1
+
+    def sums(self, now: float, window: int) -> tuple[int, int, int]:
+        """(requests, errors, slow) over the trailing *window* seconds."""
+        newest = int(now)
+        oldest = newest - window + 1
+        total = errors = slow = 0
+        for index in range(self._size):
+            second = self._seconds[index]
+            if oldest <= second <= newest:
+                total += self._totals[index]
+                errors += self._errors[index]
+                slow += self._slow[index]
+        return total, errors, slow
+
+
+class _RouteSlo:
+    """Windowed counts + burn evaluation for one objective."""
+
+    def __init__(self, objective: SloObjective, horizon: int) -> None:
+        self.objective = objective
+        self._ring = _SecondRing(horizon)
+        self.requests = 0
+        self.errors = 0
+        self.slow = 0
+
+    def record(self, *, error: bool, slow: bool, now: float) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        if slow:
+            self.slow += 1
+        self._ring.record(now, error=error, slow=slow)
+
+    def window_stats(self, now: float, window: int) -> dict[str, Any]:
+        total, errors, slow = self._ring.sums(now, window)
+        error_ratio = errors / total if total else 0.0
+        slow_ratio = slow / total if total else 0.0
+        availability_budget = 1.0 - self.objective.availability
+        latency_budget = 1.0 - self.objective.latency_target
+        return {
+            "seconds": window,
+            "requests": total,
+            "errors": errors,
+            "slow_requests": slow,
+            "error_ratio": error_ratio,
+            "slow_ratio": slow_ratio,
+            "availability_burn": error_ratio / availability_budget,
+            "latency_burn": slow_ratio / latency_budget,
+        }
+
+
+def _signal_state(
+    fast_burn: float,
+    slow_burn: float,
+    *,
+    fast_threshold: float,
+    slow_threshold: float,
+) -> str:
+    if fast_burn >= fast_threshold:
+        return STATE_FAST_BURN
+    if slow_burn >= slow_threshold:
+        return STATE_SLOW_BURN
+    return STATE_OK
+
+
+def _worst(states: Iterable[str]) -> str:
+    worst = STATE_OK
+    for state in states:
+        if _STATE_RANK.get(state, 0) > _STATE_RANK[worst]:
+            worst = state
+    return worst
+
+
+class SloTracker:
+    """Rolling error-budget accounting for a set of route objectives.
+
+    Thread-safe; the asyncio service records from its event loop and
+    tests/benchmarks read snapshots from other threads.  Routes without
+    an objective are ignored here — the labeled request metrics still
+    cover them.
+    """
+
+    def __init__(
+        self,
+        objectives: Iterable[SloObjective] | None = None,
+        *,
+        fast_window: int = DEFAULT_FAST_WINDOW_SECONDS,
+        slow_window: int = DEFAULT_SLOW_WINDOW_SECONDS,
+        fast_burn_threshold: float = DEFAULT_FAST_BURN_THRESHOLD,
+        slow_burn_threshold: float = DEFAULT_SLOW_BURN_THRESHOLD,
+    ) -> None:
+        if fast_window <= 0 or slow_window < fast_window:
+            raise ValueError(
+                "windows must satisfy 0 < fast_window <= slow_window"
+            )
+        chosen = (
+            tuple(objectives)
+            if objectives is not None
+            else DEFAULT_SERVICE_OBJECTIVES
+        )
+        routes = [o.route for o in chosen]
+        if len(set(routes)) != len(routes):
+            raise ValueError("duplicate route in objectives")
+        self.fast_window = int(fast_window)
+        self.slow_window = int(slow_window)
+        self.fast_burn_threshold = float(fast_burn_threshold)
+        self.slow_burn_threshold = float(slow_burn_threshold)
+        self._lock = threading.Lock()
+        self._routes: dict[str, _RouteSlo] = {
+            o.route: _RouteSlo(o, self.slow_window) for o in chosen
+        }
+
+    @property
+    def routes(self) -> tuple[str, ...]:
+        """Tracked route templates, declaration order."""
+        return tuple(self._routes)
+
+    def record(
+        self,
+        route: str,
+        *,
+        status: int,
+        latency_seconds: float,
+        now: float | None = None,
+    ) -> None:
+        """Fold one finished request into the route's windows.
+
+        Only 5xx responses spend availability budget (4xx are the
+        client's doing); every response's latency counts against the
+        latency objective.
+        """
+        tracked = self._routes.get(route)
+        if tracked is None:
+            return
+        ts = time.monotonic() if now is None else now
+        with self._lock:
+            tracked.record(
+                error=status >= 500,
+                slow=latency_seconds
+                > tracked.objective.latency_threshold_seconds,
+                now=ts,
+            )
+
+    # -- evaluation -----------------------------------------------------
+    def _evaluate_route(self, tracked: _RouteSlo, now: float) -> dict[str, Any]:
+        objective = tracked.objective
+        fast = tracked.window_stats(now, self.fast_window)
+        slow = tracked.window_stats(now, self.slow_window)
+        availability_state = _signal_state(
+            fast["availability_burn"],
+            slow["availability_burn"],
+            fast_threshold=self.fast_burn_threshold,
+            slow_threshold=self.slow_burn_threshold,
+        )
+        latency_state = _signal_state(
+            fast["latency_burn"],
+            slow["latency_burn"],
+            fast_threshold=self.fast_burn_threshold,
+            slow_threshold=self.slow_burn_threshold,
+        )
+
+        def remaining(errors: int, total: int, budget: float) -> float:
+            allowed = budget * total
+            if allowed <= 0:
+                return 1.0
+            return max(0.0, 1.0 - errors / allowed)
+
+        return {
+            "objective": {
+                "availability": objective.availability,
+                "latency_threshold_seconds": (
+                    objective.latency_threshold_seconds
+                ),
+                "latency_target": objective.latency_target,
+            },
+            "windows": {"fast": fast, "slow": slow},
+            "totals": {
+                "requests": tracked.requests,
+                "errors": tracked.errors,
+                "slow_requests": tracked.slow,
+            },
+            "error_budget_remaining": {
+                "availability": remaining(
+                    slow["errors"],
+                    slow["requests"],
+                    1.0 - objective.availability,
+                ),
+                "latency": remaining(
+                    slow["slow_requests"],
+                    slow["requests"],
+                    1.0 - objective.latency_target,
+                ),
+            },
+            "availability_state": availability_state,
+            "latency_state": latency_state,
+            "state": _worst((availability_state, latency_state)),
+        }
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """The full ``GET /slo`` document."""
+        ts = time.monotonic() if now is None else now
+        with self._lock:
+            routes = {
+                route: self._evaluate_route(tracked, ts)
+                for route, tracked in self._routes.items()
+            }
+        return {
+            "windows": {
+                "fast_seconds": self.fast_window,
+                "slow_seconds": self.slow_window,
+            },
+            "burn_thresholds": {
+                "fast": self.fast_burn_threshold,
+                "slow": self.slow_burn_threshold,
+            },
+            "routes": routes,
+            "state": _worst(r["state"] for r in routes.values()),
+        }
+
+    def health_summary(self, now: float | None = None) -> dict[str, Any]:
+        """The compact per-route state dict ``/healthz`` embeds."""
+        snapshot = self.snapshot(now)
+        return {
+            "state": snapshot["state"],
+            "routes": {
+                route: report["state"]
+                for route, report in snapshot["routes"].items()
+            },
+        }
+
+    def openmetrics_lines(
+        self, *, prefix: str = "repro_", now: float | None = None
+    ) -> list[str]:
+        """Gauge lines for the ``/metrics`` exposition (no terminator)."""
+
+        def esc(value: str) -> str:
+            return (
+                value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
+
+        snapshot = self.snapshot(now)
+        burn = f"{prefix}slo_burn_rate"
+        state = f"{prefix}slo_state"
+        budget = f"{prefix}slo_error_budget_remaining"
+        lines = [
+            f"# HELP {burn} error-budget burn rate per route/signal/window",
+            f"# TYPE {burn} gauge",
+            f"# HELP {state} 0=ok 1=slow_burn 2=fast_burn per route",
+            f"# TYPE {state} gauge",
+            f"# HELP {budget} fraction of slow-window error budget left",
+            f"# TYPE {budget} gauge",
+        ]
+        for route, report in snapshot["routes"].items():
+            r = esc(route)
+            for window in ("fast", "slow"):
+                w = report["windows"][window]
+                lines.append(
+                    f'{burn}{{route="{r}",signal="availability",'
+                    f'window="{window}"}} {w["availability_burn"]:g}'
+                )
+                lines.append(
+                    f'{burn}{{route="{r}",signal="latency",'
+                    f'window="{window}"}} {w["latency_burn"]:g}'
+                )
+            for signal in ("availability", "latency"):
+                lines.append(
+                    f'{budget}{{route="{r}",signal="{signal}"}} '
+                    f'{report["error_budget_remaining"][signal]:g}'
+                )
+            lines.append(
+                f'{state}{{route="{r}"}} {_STATE_RANK[report["state"]]}'
+            )
+        return lines

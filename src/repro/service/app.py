@@ -25,7 +25,8 @@ Endpoints (see ``docs/SERVICE.md`` for the full reference)::
     DELETE /sessions/{id}           abandon
     GET    /metrics                 OpenMetrics text exposition
     GET    /metrics.json            metrics JSON document
-    GET    /healthz                 liveness + occupancy
+    GET    /healthz                 liveness + occupancy + SLO state
+    GET    /slo                     per-route error-budget report
 
 Handlers contain **no awaits** around engine work: the event loop
 serializes requests, so each session transition is atomic without
@@ -69,17 +70,20 @@ from repro.exceptions import (
     ServiceError,
 )
 from repro.obs.journal import SessionJournal
-from repro.obs.logging import get_logger
+from repro.obs.labels import LabeledCounter, LabeledHistogram
+from repro.obs.logging import AccessLogWriter, get_logger
 from repro.obs.metrics import METRICS_SCHEMA_VERSION, REGISTRY, counter, gauge, histogram
 from repro.obs.openmetrics import (
     OPENMETRICS_CONTENT_TYPE,
     render_live_openmetrics,
 )
 from repro.obs.registry import SESSIONS
+from repro.obs.slo import SloTracker
 from repro.obs.trace import span
 from repro.service.http import (
     HttpRequest,
     HttpResponse,
+    error_response,
     json_response,
     serve_connection,
 )
@@ -91,7 +95,12 @@ from repro.service.wire import (
     view_event,
 )
 
-__all__ = ["SessionService", "ServiceRuntime", "DEFAULT_MAX_TERMINAL"]
+__all__ = [
+    "SessionService",
+    "ServiceRuntime",
+    "route_template",
+    "DEFAULT_MAX_TERMINAL",
+]
 
 _log = get_logger("service")
 
@@ -107,6 +116,44 @@ _FAILED = counter("service.sessions.failed")
 _DELETED = counter("service.sessions.deleted")
 _RESUMES = counter("service.sessions.resumes")
 _ACTIVE = gauge("service.sessions.active")
+
+# Per-route request metrics, labeled by route *template* and status
+# class.  Templates (never raw paths or session IDs) keep cardinality
+# bounded: the family can never exceed routes x status classes, and the
+# LabeledCounter bound collapses anything unexpected into __other__.
+_REQUESTS_BY_ROUTE = LabeledCounter(
+    "service.requests.by_route", ("route", "status")
+)
+_ERRORS_BY_ROUTE = LabeledCounter(
+    "service.errors.by_route", ("route", "status")
+)
+_REQUEST_SECONDS_BY_ROUTE = LabeledHistogram(
+    "service.request.seconds.by_route", ("route", "status")
+)
+
+
+def route_template(path: str) -> tuple[str, str | None]:
+    """Map a request path onto ``(route template, session id)``.
+
+    The template (e.g. ``/sessions/{id}/decision``) is the metric/SLO
+    label for the path; the extracted session ID feeds the access log
+    only — it must never become a metric label.
+    """
+    parts = [p for p in path.split("/") if p]
+    if len(parts) == 1 and parts[0] in (
+        "healthz",
+        "metrics",
+        "metrics.json",
+        "datasets",
+        "slo",
+        "sessions",
+    ):
+        return f"/{parts[0]}", None
+    if len(parts) == 2 and parts[0] == "sessions":
+        return "/sessions/{id}", parts[1]
+    if len(parts) == 3 and parts[0] == "sessions" and parts[2] == "decision":
+        return "/sessions/{id}/decision", parts[1]
+    return "(unmatched)", None
 
 
 @dataclass
@@ -168,6 +215,15 @@ class SessionService:
         ``python -m repro replay``).
     max_terminal:
         Finished/failed metadata snapshots retained (FIFO evicted).
+    access_log:
+        Structured JSONL access log: a path (opened for append), an
+        open text stream, or a prebuilt
+        :class:`~repro.obs.logging.AccessLogWriter`.  ``None`` (the
+        default) disables access logging entirely.
+    slo:
+        Error-budget tracker; defaults to a fresh
+        :class:`~repro.obs.slo.SloTracker` with the standard
+        per-route objectives.
     """
 
     def __init__(
@@ -176,6 +232,8 @@ class SessionService:
         store: SessionStore | None = None,
         journal_dir: str | Path | None = None,
         max_terminal: int = DEFAULT_MAX_TERMINAL,
+        access_log: str | Path | Any | None = None,
+        slo: SloTracker | None = None,
     ) -> None:
         self._store: SessionStore = (
             store if store is not None else SpilloverSessionStore()
@@ -190,6 +248,27 @@ class SessionService:
         self._started = time.monotonic()
         self._conn_tasks: set[asyncio.Task[None]] = set()
         self._conn_writers: set[asyncio.StreamWriter] = set()
+        if access_log is None or isinstance(access_log, AccessLogWriter):
+            self._access_log: AccessLogWriter | None = access_log
+        else:
+            self._access_log = AccessLogWriter(access_log)
+        self._slo = slo if slo is not None else SloTracker()
+        self._last_created_session: str | None = None
+
+    @property
+    def access_log(self) -> AccessLogWriter | None:
+        """The access-log writer (None when disabled)."""
+        return self._access_log
+
+    @property
+    def slo(self) -> SloTracker:
+        """The per-route error-budget tracker."""
+        return self._slo
+
+    def close(self) -> None:
+        """Release service-owned resources (currently the access log)."""
+        if self._access_log is not None:
+            self._access_log.close()
 
     # -- datasets -------------------------------------------------------
     def register_dataset(self, name: str, dataset: Dataset) -> None:
@@ -291,22 +370,122 @@ class SessionService:
 
     # -- routing --------------------------------------------------------
     async def dispatch(self, request: HttpRequest) -> HttpResponse:
-        """Route one request; every failure renders the error envelope."""
+        """Route one request; every failure renders the error envelope.
+
+        All failure modes are rendered *here* (rather than raised to
+        the connection loop) so the per-route metrics, SLO windows, and
+        access log observe every response exactly once, with the
+        request ID threaded into the span, the envelope, and the log
+        line.
+        """
         _REQUESTS.inc()
+        route, route_session = route_template(request.path)
+        self._last_created_session = None
+        error_code: str | None = None
+        attrs: dict[str, Any] = {
+            "method": request.method,
+            "path": request.path,
+            "route": route,
+            "request_id": request.request_id,
+        }
+        if request.trace_id:
+            attrs["trace_id"] = request.trace_id
         start = time.perf_counter()
         try:
-            with span(
-                "service.request", method=request.method, path=request.path
-            ):
-                return self._route(request)
-        except ServiceError:
-            _ERRORS.inc()
-            raise
+            with span("service.request", **attrs):
+                response = self._route(request)
+        except ServiceError as exc:
+            error_code = exc.code
+            response = error_response(
+                exc.status,
+                exc.code,
+                exc.message,
+                request_id=request.request_id,
+            )
         except ReproError as exc:
+            error_code = "engine_error"
+            response = error_response(
+                500, "engine_error", str(exc), request_id=request.request_id
+            )
+        except Exception:
+            _log.exception(
+                "unhandled error dispatching %s %s",
+                request.method,
+                request.path,
+            )
+            error_code = "internal_error"
+            response = error_response(
+                500,
+                "internal_error",
+                "unhandled server error",
+                request_id=request.request_id,
+            )
+        elapsed = time.perf_counter() - start
+        _REQUEST_SECONDS.observe(elapsed)
+        if response.status >= 400:
             _ERRORS.inc()
-            raise ServiceError(500, "engine_error", str(exc)) from exc
-        finally:
-            _REQUEST_SECONDS.observe(time.perf_counter() - start)
+        self._observe_request(
+            method=request.method,
+            path=request.path,
+            route=route,
+            session_id=route_session or self._last_created_session,
+            status=response.status,
+            elapsed=elapsed,
+            bytes_in=len(request.body),
+            bytes_out=len(response.body),
+            request_id=request.request_id,
+            trace_id=request.trace_id,
+            error_code=error_code,
+        )
+        return response
+
+    def _observe_request(
+        self,
+        *,
+        method: str,
+        path: str,
+        route: str,
+        status: int,
+        elapsed: float,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+        request_id: str = "",
+        session_id: str | None = None,
+        trace_id: str | None = None,
+        error_code: str | None = None,
+    ) -> None:
+        """Per-route metrics + SLO accounting + access-log line.
+
+        Kept as one keyword-only hook so the overhead benchmark can
+        price the disabled path (no access log) directly.
+        """
+        status_class = f"{status // 100}xx"
+        _REQUESTS_BY_ROUTE.labels(route=route, status=status_class).inc()
+        _REQUEST_SECONDS_BY_ROUTE.labels(
+            route=route, status=status_class
+        ).observe(elapsed)
+        if status >= 400:
+            _ERRORS_BY_ROUTE.labels(route=route, status=status_class).inc()
+        self._slo.record(route, status=status, latency_seconds=elapsed)
+        if self._access_log is not None:
+            entry: dict[str, Any] = {
+                "ts": round(time.time(), 6),
+                "method": method,
+                "path": path,
+                "route": route,
+                "status": status,
+                "latency_ms": round(elapsed * 1000.0, 3),
+                "bytes_in": bytes_in,
+                "bytes_out": bytes_out,
+                "request_id": request_id,
+            }
+            if session_id:
+                entry["session"] = session_id
+            if trace_id:
+                entry["trace_id"] = trace_id
+            if error_code:
+                entry["error_code"] = error_code
+            self._access_log.write(entry)
 
     def _route(self, request: HttpRequest) -> HttpResponse:
         parts = [p for p in request.path.split("/") if p]
@@ -315,10 +494,18 @@ class SessionService:
             method = "GET"
         if parts == ["healthz"] and method == "GET":
             return json_response(200, self.health_payload())
+        if parts == ["slo"] and method == "GET":
+            return json_response(200, self._slo.snapshot())
         if parts == ["metrics"] and method == "GET":
+            text = render_live_openmetrics()
+            slo_lines = self._slo.openmetrics_lines()
+            if slo_lines:
+                eof = "# EOF\n"
+                assert text.endswith(eof)
+                text = text[: -len(eof)] + "\n".join(slo_lines) + "\n" + eof
             response = HttpResponse(
                 status=200,
-                body=render_live_openmetrics().encode("utf-8"),
+                body=text.encode("utf-8"),
                 content_type=OPENMETRICS_CONTENT_TYPE,
             )
             return response
@@ -373,6 +560,7 @@ class SessionService:
             "sessions": by_status,
             "registry": SESSIONS.counts(),
             "store": self._store.stats(),
+            "slo": self._slo.health_summary(),
         }
 
     def sessions_payload(self) -> dict[str, Any]:
@@ -416,6 +604,9 @@ class SessionService:
             journal = SessionJournal.create(
                 path, provenance=body.get("provenance")
             )
+            # Every record this request writes (session_start, the
+            # first view, the checkpoint) joins back to it by ID.
+            journal.set_context(request_id=request.request_id)
             journal_path = str(path)
         engine = SearchEngine(
             dataset,
@@ -442,6 +633,7 @@ class SessionService:
         )
         self._sessions[session_id] = sess
         _CREATED.inc()
+        self._last_created_session = session_id
         wire = self._suspend_or_finish(sess, engine, event)
         self._refresh_active()
         return json_response(201, {"session": session_id, "event": wire})
@@ -503,7 +695,9 @@ class SessionService:
             )
         self._busy.add(session_id)
         try:
-            engine, event = self._resume(sess)
+            engine, event = self._resume(
+                sess, request_id=request.request_id
+            )
             try:
                 _, decision = decision_from_payload(body, event.view)
                 with span(
@@ -573,7 +767,9 @@ class SessionService:
             )
         return sess
 
-    def _resume(self, sess: ServiceSession) -> tuple[SearchEngine, ViewRequest]:
+    def _resume(
+        self, sess: ServiceSession, *, request_id: str | None = None
+    ) -> tuple[SearchEngine, ViewRequest]:
         """Rebuild the suspended engine, mapping loss/corruption to 410."""
         payload = self._store.get(sess.session_id)
         if payload is None:
@@ -590,6 +786,8 @@ class SessionService:
                 journal = SessionJournal.resume(
                     cursor["path"], cursor["cursor"]
                 )
+                if request_id:
+                    journal.set_context(request_id=request_id)
             except (JournalError, OSError, KeyError) as exc:
                 # The journal is observability, not state: losing it
                 # must not kill an otherwise-healthy session.

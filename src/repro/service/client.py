@@ -22,14 +22,20 @@ from __future__ import annotations
 
 import asyncio
 import json
+import uuid
 from typing import Any
 
 from repro.core.config import SearchConfig
 from repro.exceptions import ServiceError
 from repro.interaction.base import UserAgent, validate_decision
+from repro.service.http import REQUEST_ID_HEADER, mint_request_id
 from repro.service.wire import decision_to_payload, view_from_event
 
 __all__ = ["ServiceClient", "RemoteSessionDriver", "ServiceClientError"]
+
+#: Methods safe to retry after a connection reset (no server-side
+#: state transition to double-apply).
+_IDEMPOTENT_METHODS = {"GET", "HEAD"}
 
 
 class ServiceClientError(ServiceError):
@@ -37,18 +43,74 @@ class ServiceClientError(ServiceError):
 
 
 class ServiceClient:
-    """One keep-alive HTTP/1.1 connection to the service."""
+    """One keep-alive HTTP/1.1 connection to the service.
 
-    def __init__(self, host: str, port: int) -> None:
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    connect_timeout:
+        Seconds to wait for the TCP connect before failing with a
+        ``client_connect_timeout`` envelope.
+    read_timeout:
+        Seconds to wait for one full request/response round trip —
+        covers an engine stuck mid-view.  Timeouts close the pooled
+        connection (its framing can no longer be trusted) and are
+        never retried.
+    retries:
+        Extra attempts after a connection reset for **idempotent**
+        requests (GET/HEAD).  Non-idempotent methods keep the single
+        blanket reconnect-once behavior — a reset between send and
+        response leaves a POST's fate unknown, and the server's
+        step-echo protocol surfaces any double-apply as a 409.
+    backoff:
+        Base sleep between retry attempts (linear: ``backoff * n``).
+
+    Every request carries an ``X-Request-Id`` (minted per logical
+    request, stable across retries so the server sees one identity)
+    and, when *trace_id* is set, a W3C ``traceparent`` header.  The
+    server's echoed headers land in :attr:`last_response_headers`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 10.0,
+        read_timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        trace_id: str | None = None,
+    ) -> None:
         self._host = host
         self._port = port
+        self._connect_timeout = connect_timeout
+        self._read_timeout = read_timeout
+        self._retries = max(0, int(retries))
+        self._backoff = backoff
+        self._trace_id = trace_id
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        #: ID sent with the most recent request (greppable in the
+        #: server's access log and journal records).
+        self.last_request_id: str | None = None
+        #: Response headers from the most recent round trip.
+        self.last_response_headers: dict[str, str] = {}
 
     async def connect(self) -> "ServiceClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self._host, self._port
-        )
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self._host, self._port),
+                timeout=self._connect_timeout,
+            )
+        except asyncio.TimeoutError as exc:
+            raise ServiceClientError(
+                504,
+                "client_connect_timeout",
+                f"connect to {self._host}:{self._port} exceeded "
+                f"{self._connect_timeout}s",
+            ) from exc
         return self
 
     async def close(self) -> None:
@@ -74,36 +136,84 @@ class ServiceClient:
         """Send one request; returns ``(status, decoded JSON | bytes)``.
 
         Reconnects once if the pooled connection was dropped between
-        requests (server restart, keep-alive timeout).
+        requests (server restart, keep-alive timeout); idempotent
+        GET/HEAD requests additionally retry up to ``retries`` times
+        with linear backoff.  One request ID is minted per call and
+        reused across attempts.
         """
-        if self._reader is None or self._writer is None:
-            await self.connect()
-        try:
-            return await self._roundtrip(method, path, payload)
-        except (
-            ConnectionResetError,
-            BrokenPipeError,
-            asyncio.IncompleteReadError,
-        ):
-            await self.close()
-            await self.connect()
-            return await self._roundtrip(method, path, payload)
+        request_id = mint_request_id()
+        self.last_request_id = request_id
+        attempts = (
+            1 + self._retries if method in _IDEMPOTENT_METHODS else 1
+        )
+        attempt = 0
+        while True:
+            if self._reader is None or self._writer is None:
+                await self.connect()
+            try:
+                return await self._roundtrip(
+                    method, path, payload, request_id
+                )
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+            ):
+                await self.close()
+                attempt += 1
+                if attempt > attempts:
+                    raise
+                if attempt > 1:
+                    # First reconnect is free (stale keep-alive is
+                    # routine); later ones back off.
+                    await asyncio.sleep(self._backoff * (attempt - 1))
 
     async def _roundtrip(
-        self, method: str, path: str, payload: Any | None
+        self,
+        method: str,
+        path: str,
+        payload: Any | None,
+        request_id: str | None = None,
+    ) -> tuple[int, Any]:
+        try:
+            return await asyncio.wait_for(
+                self._roundtrip_inner(method, path, payload, request_id),
+                timeout=self._read_timeout,
+            )
+        except asyncio.TimeoutError as exc:
+            # The connection may have a half-written request or
+            # half-read response in flight; drop it.
+            await self.close()
+            raise ServiceClientError(
+                504,
+                "client_timeout",
+                f"{method} {path} exceeded {self._read_timeout}s",
+            ) from exc
+
+    async def _roundtrip_inner(
+        self,
+        method: str,
+        path: str,
+        payload: Any | None,
+        request_id: str | None,
     ) -> tuple[int, Any]:
         assert self._reader is not None and self._writer is not None
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {self._host}:{self._port}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Content-Type: application/json\r\n"
-            "Connection: keep-alive\r\n"
-            "\r\n"
-        ).encode("ascii")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self._host}:{self._port}",
+            f"Content-Length: {len(body)}",
+            "Content-Type: application/json",
+            "Connection: keep-alive",
+        ]
+        if request_id is not None:
+            lines.append(f"{REQUEST_ID_HEADER}: {request_id}")
+        if self._trace_id is not None:
+            span_id = uuid.uuid4().hex[:16]
+            lines.append(f"traceparent: 00-{self._trace_id}-{span_id}-01")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
         self._writer.write(head + body)
         await self._writer.drain()
 
@@ -122,6 +232,7 @@ class ServiceClient:
                 break
             name, _, value = stripped.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
+        self.last_response_headers = headers
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length)
         if headers.get("connection", "").lower() == "close":

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 from urllib.parse import unquote, urlsplit
@@ -37,11 +39,32 @@ __all__ = [
     "error_response",
     "read_request",
     "serve_connection",
+    "mint_request_id",
+    "REQUEST_ID_HEADER",
+    "TRACEPARENT_HEADER",
     "MAX_BODY_BYTES",
     "MAX_HEADER_BYTES",
 ]
 
 _log = get_logger("service")
+
+#: Correlation header echoed on every response (including parse errors).
+REQUEST_ID_HEADER = "X-Request-Id"
+#: W3C trace-context header carrying a caller-supplied trace ID.
+TRACEPARENT_HEADER = "traceparent"
+
+#: Request IDs the service will adopt from a client instead of minting
+#: its own: short, printable, no header-splitting potential.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+#: ``00-<trace-id>-<parent-id>-<flags>`` per the W3C trace-context spec.
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$"
+)
+
+
+def mint_request_id() -> str:
+    """A fresh server-side request ID (``req-`` + 20 hex chars)."""
+    return f"req-{uuid.uuid4().hex[:20]}"
 
 #: Largest request body accepted (checkpoint uploads are ~100 KiB).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -78,6 +101,11 @@ class HttpRequest:
     query: dict[str, str]
     headers: dict[str, str]  # keys lower-cased
     body: bytes
+    #: Correlation ID for this request: the client's ``X-Request-Id``
+    #: when well-formed, otherwise minted server-side at parse time.
+    request_id: str = ""
+    #: 32-hex trace ID from a valid ``traceparent`` header, else None.
+    trace_id: str | None = None
 
     def json(self) -> Any:
         """Decode the body as JSON, mapping failure to a clean 400."""
@@ -124,11 +152,27 @@ def json_response(status: int, payload: Any) -> HttpResponse:
     return HttpResponse(status=status, body=body)
 
 
-def error_response(status: int, code: str, message: str) -> HttpResponse:
-    """The uniform error envelope every failure path renders."""
-    return json_response(
-        status, {"error": {"status": status, "code": code, "message": message}}
-    )
+def error_response(
+    status: int,
+    code: str,
+    message: str,
+    *,
+    request_id: str | None = None,
+) -> HttpResponse:
+    """The uniform error envelope every failure path renders.
+
+    When the failing request has a correlation ID, it is included in
+    the envelope body (satellite: every 4xx/5xx carries the handle that
+    joins it to the access log, span, and journal).
+    """
+    error: dict[str, Any] = {
+        "status": status,
+        "code": code,
+        "message": message,
+    }
+    if request_id:
+        error["request_id"] = request_id
+    return json_response(status, {"error": error})
 
 
 def _parse_query(raw: str) -> dict[str, str]:
@@ -232,6 +276,14 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
         )
 
     split = urlsplit(target)
+    supplied = headers.get(REQUEST_ID_HEADER.lower(), "")
+    request_id = (
+        supplied if _REQUEST_ID_RE.match(supplied) else mint_request_id()
+    )
+    trace_id: str | None = None
+    traceparent = _TRACEPARENT_RE.match(headers.get(TRACEPARENT_HEADER, ""))
+    if traceparent and traceparent.group(1) != "0" * 32:
+        trace_id = traceparent.group(1)
     return HttpRequest(
         method=method,
         target=target,
@@ -239,6 +291,8 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
         query=_parse_query(split.query),
         headers=headers,
         body=body,
+        request_id=request_id,
+        trace_id=trace_id,
     )
 
 
@@ -254,16 +308,37 @@ async def serve_connection(
     unexpected dispatch failures answer 500 and keep serving — one bad
     request must not take down a keep-alive connection pooled by a
     load driver.
+
+    This loop is the single choke point where ``X-Request-Id`` is
+    stamped onto every response — including early parse failures that
+    never produce an :class:`HttpRequest` (those mint a fresh ID so the
+    failure is still greppable in the access log and client report).
     """
+
+    def _stamp(response: HttpResponse, request_id: str) -> HttpResponse:
+        if not any(
+            name.lower() == REQUEST_ID_HEADER.lower()
+            for name, _ in response.extra_headers
+        ):
+            response.extra_headers.append((REQUEST_ID_HEADER, request_id))
+        return response
+
     try:
         while True:
             try:
                 request = await read_request(reader)
             except ServiceError as exc:
+                request_id = mint_request_id()
                 writer.write(
-                    error_response(exc.status, exc.code, exc.message).encode(
-                        keep_alive=False
-                    )
+                    _stamp(
+                        error_response(
+                            exc.status,
+                            exc.code,
+                            exc.message,
+                            request_id=request_id,
+                        ),
+                        request_id,
+                    ).encode(keep_alive=False)
                 )
                 await writer.drain()
                 break
@@ -272,7 +347,12 @@ async def serve_connection(
             try:
                 response = await dispatch(request)
             except ServiceError as exc:
-                response = error_response(exc.status, exc.code, exc.message)
+                response = error_response(
+                    exc.status,
+                    exc.code,
+                    exc.message,
+                    request_id=request.request_id,
+                )
             except Exception:
                 _log.exception(
                     "unhandled error dispatching %s %s",
@@ -280,11 +360,14 @@ async def serve_connection(
                     request.path,
                 )
                 response = error_response(
-                    500, "internal_error", "unhandled server error"
+                    500,
+                    "internal_error",
+                    "unhandled server error",
+                    request_id=request.request_id,
                 )
             keep_alive = request.keep_alive
             writer.write(
-                response.encode(
+                _stamp(response, request.request_id).encode(
                     keep_alive=keep_alive, head_only=request.method == "HEAD"
                 )
             )

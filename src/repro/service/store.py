@@ -120,6 +120,11 @@ class SpilloverSessionStore:
         self._hot: OrderedDict[str, bytes] = OrderedDict()
         self._hot_bytes = 0
         self._cold: set[str] = set()
+        # Per-instance lifetime counts (the module counters are
+        # process-global and shared across stores; /healthz wants this
+        # store's numbers).
+        self._evictions = 0
+        self._restores = 0
         if self._dir is not None:
             self._dir.mkdir(parents=True, exist_ok=True)
             for path in sorted(self._dir.glob(f"*{SPILL_SUFFIX}")):
@@ -162,6 +167,7 @@ class SpilloverSessionStore:
                 self._hot_bytes += len(payload)
                 _HITS_COLD.inc()
                 _RESTORES.inc()
+                self._restores += 1
                 self._shrink_locked()
                 self._refresh_gauges_locked()
                 return payload
@@ -188,6 +194,8 @@ class SpilloverSessionStore:
                 "memory_bytes": self._hot_bytes,
                 "disk_entries": len(self._cold),
                 "byte_budget": self._budget or 0,
+                "evictions": self._evictions,
+                "restores": self._restores,
             }
 
     def flush_to_disk(self, session_id: str | None = None) -> int:
@@ -253,6 +261,7 @@ class SpilloverSessionStore:
             self._spill_path(victim).write_bytes(payload)
             self._cold.add(victim)
             _EVICTIONS.inc()
+            self._evictions += 1
 
     def _refresh_gauges_locked(self) -> None:
         _HOT_BYTES.set(self._hot_bytes)

@@ -1,0 +1,203 @@
+"""Labeled metric families: encoding, cardinality bounds, exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.labels import (
+    DEFAULT_MAX_SERIES,
+    OVERFLOW_VALUE,
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
+    encode_labels,
+    parse_labeled_name,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.openmetrics import render_openmetrics
+
+
+class TestEncoding:
+    def test_empty_labels_is_plain_name(self):
+        assert encode_labels("service.requests", {}) == "service.requests"
+
+    def test_keys_sorted_and_quoted(self):
+        encoded = encode_labels(
+            "service.requests.by_route",
+            {"status": "2xx", "route": "/sessions/{id}/decision"},
+        )
+        assert encoded == (
+            'service.requests.by_route{route="/sessions/{id}/decision",'
+            'status="2xx"}'
+        )
+
+    def test_braces_in_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            encode_labels("bad{name}", {"route": "/x"})
+
+    def test_round_trip_with_escapes(self):
+        labels = {"route": 'a\\b"c\nd', "status": "5xx"}
+        base, parsed = parse_labeled_name(encode_labels("m", labels))
+        assert base == "m"
+        assert parsed == labels
+
+    @given(
+        st.dictionaries(
+            st.from_regex(r"[a-z_][a-z0-9_]{0,8}", fullmatch=True),
+            st.text(min_size=0, max_size=12),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_round_trip_property(self, labels):
+        base, parsed = parse_labeled_name(encode_labels("fam.ily", labels))
+        assert base == "fam.ily"
+        assert parsed == labels
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "plain.name",
+            "trailing.brace}",
+            "{leading.brace}",
+            'not.ours{key=unquoted}',
+            'not.ours{0bad="v"}',
+            'not.ours{k="unterminated}',
+        ],
+    )
+    def test_non_matching_names_pass_through(self, name):
+        base, labels = parse_labeled_name(name)
+        assert (base, labels) == (name, {})
+
+
+class TestFamilies:
+    def test_child_types(self):
+        registry = MetricsRegistry()
+        assert isinstance(
+            LabeledCounter("c", ("a",), registry=registry).labels(a="1"),
+            Counter,
+        )
+        assert isinstance(
+            LabeledGauge("g", ("a",), registry=registry).labels(a="1"),
+            Gauge,
+        )
+        assert isinstance(
+            LabeledHistogram("h", ("a",), registry=registry).labels(a="1"),
+            Histogram,
+        )
+
+    def test_same_labels_same_child(self):
+        registry = MetricsRegistry()
+        family = LabeledCounter("c", ("route",), registry=registry)
+        assert family.labels(route="/x") is family.labels(route="/x")
+        assert family.series_count == 1
+
+    def test_label_set_mismatch_rejected(self):
+        family = LabeledCounter(
+            "c", ("route", "status"), registry=MetricsRegistry()
+        )
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(route="/x")
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(route="/x", status="2xx", extra="no")
+
+    @pytest.mark.parametrize(
+        "label_names", [(), ("dup", "dup"), ("0bad",), ("with space",)]
+    )
+    def test_bad_label_names_rejected(self, label_names):
+        with pytest.raises(ValueError):
+            LabeledCounter("c", label_names, registry=MetricsRegistry())
+
+    def test_overflow_collapses_not_grows(self):
+        registry = MetricsRegistry()
+        family = LabeledCounter(
+            "c", ("route",), max_series=3, registry=registry
+        )
+        for i in range(10):
+            family.labels(route=f"/path-{i}").inc()
+        # 3 real series minted, then the 4th slot becomes the overflow
+        # series every later label set lands in.
+        assert family.series_count == 4
+        assert family.overflowed == 7
+        overflow = encode_labels("c", {"route": OVERFLOW_VALUE})
+        assert registry.get(overflow).value == 7
+        # Totals conserved across the family.
+        total = sum(
+            registry.get(name).value
+            for name in registry.names()
+            if parse_labeled_name(name)[0] == "c"
+        )
+        assert total == 10
+
+    def test_default_bound(self):
+        family = LabeledCounter("c", ("k",), registry=MetricsRegistry())
+        assert family._max_series == DEFAULT_MAX_SERIES
+
+
+class TestExposition:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        counts = LabeledCounter(
+            "service.requests.by_route",
+            ("route", "status"),
+            registry=registry,
+        )
+        counts.labels(route="/sessions", status="2xx").inc(5)
+        counts.labels(route="/sessions/{id}/decision", status="2xx").inc(40)
+        counts.labels(route="/sessions", status="4xx").inc(2)
+        seconds = LabeledHistogram(
+            "service.request.seconds.by_route",
+            ("route", "status"),
+            buckets=(0.1, 1.0),
+            registry=registry,
+        )
+        seconds.labels(route="/sessions", status="2xx").observe(0.05)
+        seconds.labels(route="/sessions", status="2xx").observe(2.0)
+        return registry
+
+    def test_labels_become_prometheus_labels(self):
+        text = render_openmetrics(self._registry())
+        assert (
+            'repro_service_requests_by_route_total{route="/sessions",'
+            'status="2xx"} 5' in text
+        )
+        assert (
+            'repro_service_requests_by_route_total{'
+            'route="/sessions/{id}/decision",status="2xx"} 40' in text
+        )
+        # One HELP/TYPE block per family, not per series.
+        assert text.count("# TYPE repro_service_requests_by_route") == 1
+
+    def test_histogram_members_render_buckets(self):
+        text = render_openmetrics(self._registry())
+        assert (
+            'repro_service_request_seconds_by_route_bucket{'
+            'route="/sessions",status="2xx",le="0.1"} 1' in text
+        )
+        assert (
+            'repro_service_request_seconds_by_route_count{'
+            'route="/sessions",status="2xx"} 2' in text
+        )
+
+    def test_json_snapshot_round_trips(self):
+        registry = self._registry()
+        decoded = json.loads(json.dumps(registry.to_dict()))
+        rebuilt = MetricsRegistry()
+        for name, snap in decoded["metrics"].items():
+            if snap["type"] == "counter":
+                rebuilt.counter(name).inc(snap["value"])
+            elif snap["type"] == "gauge":
+                rebuilt.gauge(name).set(snap["value"])
+        # Every encoded name survives JSON verbatim and re-parses.
+        for name in decoded["metrics"]:
+            base, labels = parse_labeled_name(name)
+            if labels:
+                assert encode_labels(base, labels) == name
+        assert (
+            'repro_service_requests_by_route_total{route="/sessions",'
+            'status="2xx"} 5' in render_openmetrics(rebuilt)
+        )

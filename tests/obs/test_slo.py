@@ -1,0 +1,276 @@
+"""SLO tracker: burn-rate arithmetic, state machine, exposition.
+
+Every test drives the tracker with an explicit ``now`` so the window
+math is exact — no sleeping, no clock reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_FAST_BURN_THRESHOLD,
+    DEFAULT_SERVICE_OBJECTIVES,
+    DEFAULT_SLOW_BURN_THRESHOLD,
+    STATE_FAST_BURN,
+    STATE_OK,
+    STATE_SLOW_BURN,
+    SloObjective,
+    SloTracker,
+)
+
+
+def tracker(**kwargs) -> SloTracker:
+    """A tracker with one easy-arithmetic objective.
+
+    Availability 0.9 -> availability budget 0.1; latency target 0.8
+    over 1s -> latency budget 0.2.  A 10% error ratio is burn 1.0.
+    """
+    objective = SloObjective(
+        "/r",
+        availability=0.9,
+        latency_threshold_seconds=1.0,
+        latency_target=0.8,
+    )
+    defaults = dict(fast_window=10, slow_window=100)
+    defaults.update(kwargs)
+    return SloTracker([objective], **defaults)
+
+
+class TestObjectiveValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(availability=0.0),
+            dict(availability=1.0),
+            dict(latency_target=1.5),
+            dict(latency_threshold_seconds=0.0),
+        ],
+    )
+    def test_bad_objective_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SloObjective("/r", **kwargs)
+
+    def test_duplicate_routes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate route"):
+            SloTracker([SloObjective("/r"), SloObjective("/r")])
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(ValueError, match="windows"):
+            tracker(fast_window=100, slow_window=10)
+
+    def test_default_objectives_cover_service_routes(self):
+        routes = {o.route for o in DEFAULT_SERVICE_OBJECTIVES}
+        assert routes == {
+            "/sessions",
+            "/sessions/{id}/decision",
+            "/sessions/{id}",
+            "/healthz",
+        }
+        assert SloTracker().routes == tuple(
+            o.route for o in DEFAULT_SERVICE_OBJECTIVES
+        )
+
+
+class TestBurnArithmetic:
+    def test_exact_burn_rates(self):
+        t = tracker()
+        # 20 requests at t=1000: 2 are 5xx (10% -> availability burn
+        # 1.0), 5 are slow (25% -> latency burn 1.25).
+        for i in range(20):
+            t.record(
+                "/r",
+                status=500 if i < 2 else 200,
+                latency_seconds=2.0 if i < 5 else 0.1,
+                now=1000.0,
+            )
+        report = t.snapshot(now=1000.0)["routes"]["/r"]
+        fast = report["windows"]["fast"]
+        assert fast["requests"] == 20
+        assert fast["errors"] == 2
+        assert fast["slow_requests"] == 5
+        assert fast["availability_burn"] == pytest.approx(1.0)
+        assert fast["latency_burn"] == pytest.approx(1.25)
+        # Same counts land in the slow window too.
+        assert report["windows"]["slow"]["availability_burn"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_boundary_latency_is_not_slow(self):
+        t = tracker()
+        t.record("/r", status=200, latency_seconds=1.0, now=50.0)
+        t.record("/r", status=200, latency_seconds=1.0001, now=50.0)
+        fast = t.snapshot(now=50.0)["routes"]["/r"]["windows"]["fast"]
+        assert fast["slow_requests"] == 1
+
+    def test_4xx_spends_no_availability_budget(self):
+        t = tracker()
+        for _ in range(10):
+            t.record("/r", status=404, latency_seconds=0.1, now=7.0)
+        report = t.snapshot(now=7.0)["routes"]["/r"]
+        assert report["windows"]["fast"]["errors"] == 0
+        assert report["availability_state"] == STATE_OK
+
+    def test_requests_age_out_of_windows(self):
+        t = tracker()  # fast_window=10, slow_window=100
+        t.record("/r", status=500, latency_seconds=0.1, now=0.0)
+        report = t.snapshot(now=5.0)["routes"]["/r"]
+        assert report["windows"]["fast"]["errors"] == 1
+        # Past the fast window the error only burns the slow window...
+        report = t.snapshot(now=50.0)["routes"]["/r"]
+        assert report["windows"]["fast"]["errors"] == 0
+        assert report["windows"]["slow"]["errors"] == 1
+        # ...and past the slow window it is gone, though lifetime
+        # totals keep it.
+        report = t.snapshot(now=500.0)["routes"]["/r"]
+        assert report["windows"]["slow"]["errors"] == 0
+        assert report["totals"]["errors"] == 1
+
+    def test_untracked_route_ignored(self):
+        t = tracker()
+        t.record("/nope", status=500, latency_seconds=9.0, now=1.0)
+        assert t.snapshot(now=1.0)["state"] == STATE_OK
+
+
+class TestStates:
+    def test_fast_burn_trips_on_short_window(self):
+        # Defaults: fast threshold 14.4 on budget 0.1 -> an error
+        # ratio >= 1.44 is impossible, so use a tighter objective:
+        # availability 0.99 -> budget 0.01; 20% errors -> burn 20.
+        t = SloTracker(
+            [SloObjective("/r", availability=0.99)],
+            fast_window=10,
+            slow_window=100,
+        )
+        for i in range(10):
+            t.record(
+                "/r",
+                status=500 if i < 2 else 200,
+                latency_seconds=0.1,
+                now=100.0,
+            )
+        report = t.snapshot(now=100.0)["routes"]["/r"]
+        assert report["windows"]["fast"]["availability_burn"] == (
+            pytest.approx(20.0)
+        )
+        assert report["availability_state"] == STATE_FAST_BURN
+        assert report["state"] == STATE_FAST_BURN
+        assert t.snapshot(now=100.0)["state"] == STATE_FAST_BURN
+
+    def test_slow_burn_without_fast_burn(self):
+        # 10% errors on budget 0.01 -> burn 10: above the slow
+        # threshold (6), below the fast one (14.4).  Keep the recent
+        # fast window clean so only the slow window sees the errors.
+        t = SloTracker(
+            [SloObjective("/r", availability=0.99)],
+            fast_window=10,
+            slow_window=100,
+        )
+        for i in range(10):
+            t.record(
+                "/r",
+                status=500 if i == 0 else 200,
+                latency_seconds=0.1,
+                now=100.0,
+            )
+        report = t.snapshot(now=150.0)["routes"]["/r"]
+        assert report["windows"]["fast"]["requests"] == 0
+        assert report["windows"]["slow"]["availability_burn"] == (
+            pytest.approx(10.0)
+        )
+        assert report["availability_state"] == STATE_SLOW_BURN
+
+    def test_latency_and_availability_fold_to_worst(self):
+        # All requests slow (latency burn 1/0.2 = 5 >= custom slow
+        # threshold), none failing.
+        t = tracker(slow_burn_threshold=5.0, fast_burn_threshold=100.0)
+        for _ in range(10):
+            t.record("/r", status=200, latency_seconds=5.0, now=1.0)
+        report = t.snapshot(now=1.0)["routes"]["/r"]
+        assert report["availability_state"] == STATE_OK
+        assert report["latency_state"] == STATE_SLOW_BURN
+        assert report["state"] == STATE_SLOW_BURN
+
+    def test_thresholds_default_to_sre_pair(self):
+        t = SloTracker()
+        assert t.fast_burn_threshold == DEFAULT_FAST_BURN_THRESHOLD == 14.4
+        assert t.slow_burn_threshold == DEFAULT_SLOW_BURN_THRESHOLD == 6.0
+
+
+class TestBudget:
+    def test_budget_remaining_exact(self):
+        t = tracker()
+        # Slow window allows 0.1 * 20 = 2 errors; one spent -> 50%.
+        for i in range(20):
+            t.record(
+                "/r",
+                status=500 if i == 0 else 200,
+                latency_seconds=0.1,
+                now=10.0,
+            )
+        remaining = t.snapshot(now=10.0)["routes"]["/r"][
+            "error_budget_remaining"
+        ]
+        assert remaining["availability"] == pytest.approx(0.5)
+        assert remaining["latency"] == pytest.approx(1.0)
+
+    def test_budget_floors_at_zero(self):
+        t = tracker()
+        for _ in range(10):
+            t.record("/r", status=500, latency_seconds=0.1, now=10.0)
+        remaining = t.snapshot(now=10.0)["routes"]["/r"][
+            "error_budget_remaining"
+        ]
+        assert remaining["availability"] == 0.0
+
+    def test_no_traffic_means_full_budget(self):
+        remaining = tracker().snapshot(now=0.0)["routes"]["/r"][
+            "error_budget_remaining"
+        ]
+        assert remaining == {"availability": 1.0, "latency": 1.0}
+
+
+class TestSurfaces:
+    def test_snapshot_schema(self):
+        snap = tracker().snapshot(now=0.0)
+        assert set(snap) == {"windows", "burn_thresholds", "routes", "state"}
+        assert snap["windows"] == {"fast_seconds": 10, "slow_seconds": 100}
+        report = snap["routes"]["/r"]
+        assert set(report) == {
+            "objective",
+            "windows",
+            "totals",
+            "error_budget_remaining",
+            "availability_state",
+            "latency_state",
+            "state",
+        }
+
+    def test_health_summary_is_compact(self):
+        assert tracker().health_summary(now=0.0) == {
+            "state": STATE_OK,
+            "routes": {"/r": STATE_OK},
+        }
+
+    def test_openmetrics_lines(self):
+        t = tracker()
+        for i in range(10):
+            t.record(
+                "/r",
+                status=500 if i == 0 else 200,
+                latency_seconds=0.1,
+                now=5.0,
+            )
+        lines = t.openmetrics_lines(now=5.0)
+        text = "\n".join(lines)
+        assert "# TYPE repro_slo_burn_rate gauge" in text
+        assert (
+            'repro_slo_burn_rate{route="/r",signal="availability",'
+            'window="fast"} 1' in lines
+        )
+        assert 'repro_slo_state{route="/r"} 0' in lines
+        assert (
+            'repro_slo_error_budget_remaining{route="/r",'
+            'signal="availability"} 0' in text
+        )
+        assert not text.endswith("# EOF")

@@ -53,7 +53,7 @@ VIEW_EVENT_KEYS = {
 
 RESULT_EVENT_KEYS = {"type", "session", "reason", "support", "neighbor_indices", "result"}
 
-ERROR_KEYS = {"status", "code", "message"}
+ERROR_KEYS = {"status", "code", "message", "request_id"}
 
 
 def _client_for(server) -> ServiceClient:
@@ -262,7 +262,7 @@ class TestResponseShapes:
         assert any(s["session"] == sid for s in listing["sessions"])
         assert health["status"] == "ok"
         assert {"status", "uptime_seconds", "schema_version", "datasets",
-                "sessions", "registry", "store"} == set(health)
+                "sessions", "registry", "store", "slo"} == set(health)
         assert health["sessions"]["awaiting_decision"] >= 1
         assert set(health["registry"]) == {
             "live", "suspended", "finished", "failed",
