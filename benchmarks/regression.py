@@ -27,6 +27,11 @@ Workload matrix (``--quick`` halves the sizes and drops a cell):
 * ``service``         — oracle-driven sessions over the asyncio HTTP
   session service (real sockets, checkpoint/resume per decision); its
   request and finished-session counts gate with the other counters
+* ``scaling_binned`` / ``scaling_subsampled`` — the approximate density
+  modes (``SearchConfig.kde_mode``) on a slice of the pinned query mix,
+  with the grid cache disabled so their work counters
+  (``kde.binned.cells``, ``kde.subsample.points``) are exact functions
+  of the workload and gate drift in the approximate evaluators
 
 Each cell records wall seconds, queries/second, the KDE cache hit rate,
 the deterministic work counters (``connectivity.flood_fill.calls``,
@@ -57,6 +62,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -133,9 +139,19 @@ def _build_workload(points: int, queries: int, seed: int):
 
 
 def _run_cell(
-    dataset, config, query_indices, *, runner: Callable[..., Any]
+    dataset,
+    config,
+    query_indices,
+    *,
+    runner: Callable[..., Any],
+    extra_counters: dict[str, str] | None = None,
 ) -> dict[str, Any]:
-    """Run one matrix cell under its own tracer; return its record."""
+    """Run one matrix cell under its own tracer; return its record.
+
+    ``extra_counters`` maps record field names to metric-registry
+    counter names whose deltas the cell should additionally report
+    (e.g. the approximate-KDE work counters of the scaling lane).
+    """
     from repro.core.search import InteractiveNNSearch
     from repro.obs.metrics import counter_values
     from repro.obs.trace import Tracer
@@ -179,6 +195,14 @@ def _run_cell(
         for name, entry in aggregate.items()
         if name in KEY_PHASES
     }
+    counters = {
+        "flood_fills": int(flood_fills),
+        "merge_tree_builds": int(tree_builds),
+        "engine_steps": int(steps),
+        "fills_per_step": flood_fills / steps if steps else 0.0,
+    }
+    for field, metric in (extra_counters or {}).items():
+        counters[field] = int(after.get(metric, 0.0) - before.get(metric, 0.0))
     return {
         "wall_seconds": wall,
         "queries_per_second": len(query_indices) / wall if wall else 0.0,
@@ -187,12 +211,7 @@ def _run_cell(
             "misses": int(misses),
             "hit_rate": hits / lookups if lookups else 0.0,
         },
-        "counters": {
-            "flood_fills": int(flood_fills),
-            "merge_tree_builds": int(tree_builds),
-            "engine_steps": int(steps),
-            "fills_per_step": flood_fills / steps if steps else 0.0,
-        },
+        "counters": counters,
         "phases": phases,
     }
 
@@ -423,6 +442,37 @@ def run_matrix(
         f"({workloads['service']['queries_per_second']:.2f} q/s)",
         flush=True,
     )
+    scaling_queries = [int(q) for q in query_indices[: 4 if quick else 8]]
+    scaling_counters = {
+        "kde_binned_cells": "kde.binned.cells",
+        "kde_subsample_points": "kde.subsample.points",
+    }
+    for mode in ("binned", "subsampled"):
+        cell_name = f"scaling_{mode}"
+        print(f"  running {cell_name} ...", flush=True)
+        mode_config = dataclasses.replace(
+            config, kde_mode=mode, kde_subsample=256
+        )
+
+        def scaling_runner(search, _queries=scaling_queries):
+            # Cache disabled so the approximate-KDE work counters are an
+            # exact function of the workload, not of whatever grids the
+            # earlier cells happened to leave in the process-wide cache.
+            with disabled_density_cache():
+                return run_batch(search, _queries, factory, max_in_flight=1)
+
+        workloads[cell_name] = _run_cell(
+            dataset,
+            mode_config,
+            scaling_queries,
+            runner=scaling_runner,
+            extra_counters=scaling_counters,
+        )
+        print(
+            f"    {workloads[cell_name]['wall_seconds']:.2f}s "
+            f"({workloads[cell_name]['queries_per_second']:.2f} q/s)",
+            flush=True,
+        )
     print("  running tau_sweep microbench ...", flush=True)
     tau_sweep = run_tau_sweep_microbench(dataset, config)
     print(
@@ -568,6 +618,13 @@ def compare(
                 "sessions_finished",
                 "slo_routes_unavailable",
             ]
+        if workload.startswith("scaling_"):
+            # Approximate-KDE work: blurred grid cells (binned lane) and
+            # kernel-sum points after thinning (subsampled lane).  Both
+            # run with the density cache disabled, so the deltas are
+            # exact functions of the pinned workload — any drift means
+            # the approximate evaluators changed how much work they do.
+            exact += ["kde_binned_cells", "kde_subsample_points"]
         for name in exact:
             if name in base_counters and name in cur_counters:
                 add(

@@ -6,6 +6,11 @@ from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
 
+#: Recognized density evaluation strategies (mirrored by
+#: :data:`repro.density.binned.KDE_MODES`; duplicated here so config
+#: validation does not import numpy-heavy density modules).
+KDE_MODES = ("exact", "binned", "subsampled")
+
 
 @dataclass(frozen=True)
 class SearchConfig:
@@ -50,6 +55,20 @@ class SearchConfig:
         Use the current (pruned) population as the Bernoulli ``N`` in
         the meaningfulness statistics.  When False, the original data
         set size is used throughout.
+    kde_mode:
+        Density evaluation strategy for view profiles: ``"exact"``
+        (the paper's per-point KDE, the default), ``"binned"``
+        (histogram + separable blur, ``O(n + p^2)`` per view with a
+        documented error bound — see :mod:`repro.density.binned`), or
+        ``"subsampled"`` (KDE over a deterministic stride subsample of
+        ``kde_subsample`` points during the view-search phase, with
+        exact statistics recomputed for accepted views).  The mode is
+        part of checkpoint/journal provenance, so replay stays
+        byte-identical per mode.
+    kde_subsample:
+        Subsample size for ``kde_mode="subsampled"``; ignored by the
+        other modes.  Population sizes at or below it degenerate to
+        exact evaluation.
     rng_seed:
         Seed for the search's internal randomness (none today, reserved
         for tie-breaking policies); recorded in the session for
@@ -67,6 +86,8 @@ class SearchConfig:
     projection_weight: float = 1.0
     remove_unpicked: bool = True
     use_live_population: bool = True
+    kde_mode: str = "exact"
+    kde_subsample: int = 4096
     rng_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -88,6 +109,12 @@ class SearchConfig:
             raise ConfigurationError("projection_restarts must be at least 1")
         if self.projection_weight <= 0:
             raise ConfigurationError("projection_weight must be positive")
+        if self.kde_mode not in KDE_MODES:
+            raise ConfigurationError(
+                f"kde_mode must be one of {KDE_MODES}, got {self.kde_mode!r}"
+            )
+        if self.kde_subsample < 2:
+            raise ConfigurationError("kde_subsample must be at least 2")
 
     def effective_support(self, dim: int) -> int:
         """The support actually used: ``max(support, d)`` (paper §2)."""

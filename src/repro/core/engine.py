@@ -592,12 +592,19 @@ class SearchEngine:
             weight=self._config.projection_weight * decision.weight,
         )
         self._close_minor_span()
+        # Approximate KDE modes serve the view-*search* phase; a view
+        # the user accepted enters the audit trail, so its statistics
+        # are recomputed with the exact estimator (deterministic, no
+        # RNG — replay in approximate modes stays byte-identical).
+        recorded_stats = view.profile.statistics
+        if decision.accepted and self._config.kde_mode != "exact":
+            recorded_stats = view.profile.exact_statistics(view.projected_points)
         state.session.record_minor(
             MinorIterationRecord(
                 major_index=state.major,
                 minor_index=state.minor,
                 subspace=found.projection,
-                profile_statistics=view.profile.statistics,
+                profile_statistics=recorded_stats,
                 accepted=decision.accepted,
                 threshold=decision.threshold,
                 selected_count=decision.selected_count,
@@ -692,6 +699,8 @@ class SearchEngine:
                 query_2d,
                 resolution=config.grid_resolution,
                 bandwidth_scale=config.bandwidth_scale,
+                kde_mode=config.kde_mode,
+                kde_subsample=config.kde_subsample,
             )
             # Precompute the grid's merge tree inside the engine.step
             # span: every connectivity question the user asks about this

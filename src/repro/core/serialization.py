@@ -183,10 +183,14 @@ def load_result_dict(path: str | Path) -> dict[str, Any]:
 def dataset_fingerprint(dataset: Dataset) -> dict[str, Any]:
     """Identity of a dataset for checkpoint validation.
 
-    The SHA-256 digest of the raw point bytes makes "same dataset"
-    checkable without archiving the points themselves.
+    The SHA-256 digest of the point bytes makes "same dataset"
+    checkable without archiving the points themselves.  Points are
+    canonicalized to contiguous float64 before hashing, so the
+    fingerprint is stable across storage dtypes: a float32 memory-map
+    of the same values (see :func:`repro.data.loaders.load_npy_dataset`)
+    fingerprints identically to its float64 in-RAM twin.
     """
-    pts = np.ascontiguousarray(dataset.points)
+    pts = np.ascontiguousarray(dataset.points, dtype=np.float64)
     return {
         "name": dataset.name,
         "size": int(dataset.size),
@@ -360,6 +364,8 @@ def checkpoint_to_dict(engine: SearchEngine) -> dict[str, Any]:
                 "projection_weight": config.projection_weight,
                 "remove_unpicked": config.remove_unpicked,
                 "use_live_population": config.use_live_population,
+                "kde_mode": config.kde_mode,
+                "kde_subsample": config.kde_subsample,
                 "rng_seed": config.rng_seed,
             },
             "dataset": dataset_fingerprint(engine.dataset),

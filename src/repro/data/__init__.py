@@ -4,7 +4,9 @@ from repro.data.dataset import NOISE_LABEL, Dataset
 from repro.data.loaders import (
     load_csv_dataset,
     load_ionosphere,
+    load_npy_dataset,
     load_segmentation,
+    save_npy_dataset,
 )
 from repro.data.synthetic import (
     ClusterGroundTruth,
@@ -37,6 +39,8 @@ __all__ = [
     "load_ionosphere",
     "load_segmentation",
     "load_csv_dataset",
+    "load_npy_dataset",
+    "save_npy_dataset",
     "NOISE_LABEL",
     "ProjectedClusterSpec",
     "ProjectedClusterData",

@@ -41,7 +41,13 @@ class Dataset:
     metadata: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        pts = np.asarray(self.points, dtype=float)
+        # Preserve float storage as-is: float32 arrays and read-only
+        # memory-maps (million-point loads via ``load_npy_dataset``)
+        # must not be copied into a float64 twin that doubles RAM.
+        # Anything non-float is still canonicalized to float64.
+        pts = np.asarray(self.points)
+        if pts.dtype not in (np.float32, np.float64):
+            pts = np.asarray(pts, dtype=float)
         if pts.ndim != 2:
             raise DimensionalityError("points must be a 2-D array")
         if pts.shape[0] == 0:

@@ -217,3 +217,83 @@ def load_csv_dataset(
         name=name or path.stem,
         metadata={"source": str(path)},
     )
+
+
+def _labels_path(path: Path) -> Path:
+    """Sibling file holding a ``.npy`` dataset's labels."""
+    return path.with_name(path.stem + ".labels.npy")
+
+
+def save_npy_dataset(
+    dataset: Dataset,
+    path: str | Path,
+    *,
+    dtype: np.dtype | type = np.float32,
+) -> Path:
+    """Persist a dataset as ``.npy`` for memory-mapped reloading.
+
+    Points are stored as *dtype* (default float32 — half the bytes of
+    the in-RAM float64 default, plenty for the projections and density
+    grids this system computes); labels, when present, land in a
+    sibling ``<stem>.labels.npy``.  The written file round-trips
+    through :func:`load_npy_dataset` without the loader ever
+    materializing the points in RAM.
+    """
+    path = Path(path)
+    if path.suffix != ".npy":
+        path = path.with_suffix(".npy")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with span("data.save.npy", path=str(path)):
+        np.save(path, np.asarray(dataset.points, dtype=dtype), allow_pickle=False)
+        if dataset.labels is not None:
+            np.save(_labels_path(path), dataset.labels, allow_pickle=False)
+    _log.info("saved %d points to %s (%s)", dataset.size, path, np.dtype(dtype))
+    return path
+
+
+def load_npy_dataset(
+    path: str | Path,
+    *,
+    mmap: bool = True,
+    name: str | None = None,
+) -> Dataset:
+    """Load a ``.npy`` point matrix, memory-mapped by default.
+
+    With ``mmap=True`` the points are a read-only :class:`numpy.memmap`
+    — the file's pages are faulted in on demand, so opening a
+    million-point float32 dataset costs neither a copy nor double RAM
+    (:class:`~repro.data.dataset.Dataset` preserves float arrays as
+    given).  Labels are picked up automatically from the sibling
+    ``<stem>.labels.npy`` when it exists.
+
+    Dataset fingerprints (checkpoint/journal provenance) canonicalize
+    to float64 bytes, so a float32 memory-map fingerprints identically
+    to the same values held in RAM at any float dtype.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"{path} does not exist")
+    with span("data.load.npy", path=str(path), mmap=bool(mmap)):
+        points = np.load(path, mmap_mode="r" if mmap else None, allow_pickle=False)
+        if points.ndim != 2:
+            raise ConfigurationError(
+                f"{path} holds a {points.ndim}-D array; expected (n, d) points"
+            )
+        labels = None
+        labels_file = _labels_path(path)
+        if labels_file.exists():
+            labels = np.load(labels_file, allow_pickle=False)
+    _ROWS_LOADED.inc(points.shape[0])
+    _log.info(
+        "loaded %d npy rows from %s (mmap=%s, dtype=%s)",
+        points.shape[0],
+        path,
+        mmap,
+        points.dtype,
+    )
+    return Dataset(
+        points=points,
+        labels=labels,
+        name=name or path.stem,
+        metadata={"source": str(path), "mmap": bool(mmap), "dtype": str(points.dtype)},
+    )

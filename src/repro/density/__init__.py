@@ -7,6 +7,13 @@ from repro.density.bandwidth import (
     scott_bandwidth,
     silverman_bandwidth,
 )
+from repro.density.binned import (
+    KDE_MODES,
+    BinnedHistogram,
+    binned_density_grid,
+    binned_error_bound,
+    subsample_indices,
+)
 from repro.density.cache import (
     DensityGridCache,
     disabled_density_cache,
@@ -58,6 +65,11 @@ __all__ = [
     "KernelDensityEstimator",
     "DensityGrid",
     "GridBounds",
+    "BinnedHistogram",
+    "binned_density_grid",
+    "binned_error_bound",
+    "subsample_indices",
+    "KDE_MODES",
     "DensityGridCache",
     "get_density_cache",
     "set_density_cache",

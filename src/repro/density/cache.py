@@ -168,15 +168,25 @@ class DensityGridCache:
         bandwidth: np.ndarray,
         grid_x: np.ndarray,
         grid_y: np.ndarray,
+        *,
+        mode: str = "exact",
     ) -> bytes:
         """Content key of one ``evaluate_on_grid`` call.
 
         The *points* array is the live set projected through the view's
         subspace and the axes are derived from points + query bounds,
         so this key subsumes the (subspace fingerprint, live-set hash,
-        bandwidth) triple without needing either object in scope.
+        bandwidth) triple without needing either object in scope.  The
+        evaluation *mode* (``"exact"`` or ``"binned"``) participates in
+        the digest: the binned approximation of a grid must never be
+        served where the exact evaluation was requested, or vice versa.
         """
-        return fingerprint_arrays(points, bandwidth, grid_x, grid_y)
+        h = hashlib.blake2b(
+            fingerprint_arrays(points, bandwidth, grid_x, grid_y),
+            digest_size=16,
+        )
+        h.update(mode.encode())
+        return h.digest()
 
     def fetch(self, key: bytes) -> np.ndarray | None:
         """Return a writable copy of the cached grid, or ``None``.

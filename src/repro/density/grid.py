@@ -65,6 +65,15 @@ class DensityGrid:
     include:
         Optional extra points (e.g. the query) that the grid bounds must
         cover even if they fall outside the data's bounding box.
+    mode:
+        Grid evaluation strategy: ``"exact"`` (default, the per-point
+        KDE) or ``"binned"`` (linear binning + separable blur —
+        ``O(n + p^2)`` with the error bound of
+        :func:`repro.density.binned.binned_error_bound`).  Binned grids
+        retain their :attr:`histogram` so consumers can form
+        point-weighted grid aggregates, or re-blur, without another
+        pass over the points.  Point evaluations (:meth:`density_at`)
+        remain exact in either mode.
     """
 
     def __init__(
@@ -75,14 +84,20 @@ class DensityGrid:
         estimator: KernelDensityEstimator | None = None,
         padding: float = 0.05,
         include: np.ndarray | None = None,
+        mode: str = "exact",
     ) -> None:
         pts = np.asarray(points, dtype=float)
         if pts.ndim != 2 or pts.shape[1] != 2:
             raise DimensionalityError("DensityGrid requires (n, 2) points")
         if resolution < 2:
             raise ConfigurationError("resolution must be at least 2")
+        if mode not in ("exact", "binned"):
+            raise ConfigurationError(
+                f"DensityGrid mode must be 'exact' or 'binned', got {mode!r}"
+            )
         self._points = pts
         self._resolution = resolution
+        self._mode = mode
         self._estimator = estimator or KernelDensityEstimator(pts)
 
         cover = pts
@@ -99,12 +114,29 @@ class DensityGrid:
         self._bounds = GridBounds(lo[0], hi[0], lo[1], hi[1])
         self._grid_x = np.linspace(lo[0], hi[0], resolution)
         self._grid_y = np.linspace(lo[1], hi[1], resolution)
+        self._histogram = None
         with span(
-            "kde.grid", resolution=resolution, n=int(pts.shape[0])
+            "kde.grid", resolution=resolution, n=int(pts.shape[0]), mode=mode
         ) as grid_span:
-            self._density = self._estimator.evaluate_on_grid(
-                self._grid_x, self._grid_y
-            )
+            if mode == "binned":
+                # Build (and keep) the linear-binned histogram here
+                # rather than routing through the estimator's cached
+                # grid path: the histogram must exist unconditionally —
+                # a cache-dependent shortcut would make downstream
+                # histogram-weighted statistics depend on cache history
+                # and break replay determinism.
+                from repro.density.binned import BinnedHistogram
+
+                self._histogram = BinnedHistogram(
+                    pts, self._grid_x, self._grid_y
+                )
+                self._density = self._histogram.blur(
+                    self._estimator.bandwidth, kernel=self._estimator.kernel
+                )
+            else:
+                self._density = self._estimator.evaluate_on_grid(
+                    self._grid_x, self._grid_y
+                )
         if grid_span is not NULL_SPAN:
             _GRID_EVAL_SECONDS.observe(grid_span.wall)
         self._merge_tree: MergeTree | None = None
@@ -114,6 +146,11 @@ class DensityGrid:
     def resolution(self) -> int:
         """Grid points per axis (``p``)."""
         return self._resolution
+
+    @property
+    def mode(self) -> str:
+        """Grid evaluation strategy (``"exact"`` or ``"binned"``)."""
+        return self._mode
 
     @property
     def bounds(self) -> GridBounds:
@@ -139,6 +176,18 @@ class DensityGrid:
     def estimator(self) -> KernelDensityEstimator:
         """The underlying kernel density estimator."""
         return self._estimator
+
+    @property
+    def histogram(self):
+        """The retained linear-binned histogram (``None`` unless binned).
+
+        A :class:`repro.density.binned.BinnedHistogram` whose blur
+        produced :attr:`density`; its counts are each grid node's total
+        bilinear point weight, so ``(counts * density).sum() / total``
+        is exactly the mean bilinearly-interpolated density over the
+        points — without an ``O(n)`` interpolation pass.
+        """
+        return self._histogram
 
     @property
     def cell_count(self) -> int:

@@ -81,6 +81,11 @@ class KernelDensityEstimator:
         return self._bandwidth
 
     @property
+    def kernel(self) -> KernelFn:
+        """The kernel function the estimator evaluates with."""
+        return self._kernel
+
+    @property
     def dim(self) -> int:
         """Dimensionality of the estimator."""
         return self._points.shape[1]
@@ -118,45 +123,65 @@ class KernelDensityEstimator:
         self,
         grid_x: np.ndarray,
         grid_y: np.ndarray,
+        *,
+        mode: str = "exact",
     ) -> np.ndarray:
         """Density on the Cartesian product ``grid_x x grid_y`` (2-D only).
 
         Returns a ``(len(grid_x), len(grid_y))`` array where entry
         ``[i, j]`` is the density at ``(grid_x[i], grid_y[j])``.
 
-        For the Gaussian product kernel this uses the separable
-        factorization (density contribution splits into per-axis
-        factors), which turns an ``O(p^2 n)`` evaluation into
-        ``O(p n)`` work plus a ``(p, n) @ (n, p)`` product.
+        With ``mode="exact"`` (the default) and the Gaussian product
+        kernel this uses the separable factorization (density
+        contribution splits into per-axis factors), which turns an
+        ``O(p^2 n)`` evaluation into ``O(p n)`` work plus a
+        ``(p, n) @ (n, p)`` product.
+
+        With ``mode="binned"`` the points are first histogrammed onto
+        the grid nodes and the histogram blurred with a truncated
+        separable kernel (:mod:`repro.density.binned`): ``O(n + p^2)``
+        total, with the deviation from the exact result bounded by
+        :func:`repro.density.binned.binned_error_bound`.
 
         Evaluations with the default Gaussian kernel consult the
-        process-wide :class:`~repro.density.cache.DensityGridCache`:
-        when the (points, bandwidth, axes) triple was already evaluated
-        this process, the byte-identical cached grid is returned and
-        the arithmetic is skipped entirely (``kde.cache.hit``).  Custom
-        kernels bypass the cache — callables carry no stable content
-        fingerprint.
+        process-wide :class:`~repro.density.cache.DensityGridCache`
+        under a mode-tagged key: when the (points, bandwidth, axes,
+        mode) tuple was already evaluated this process, the
+        byte-identical cached grid is returned and the arithmetic is
+        skipped entirely (``kde.cache.hit``).  Custom kernels bypass
+        the cache — callables carry no stable content fingerprint.
         """
         if self.dim != 2:
             raise DimensionalityError("grid evaluation requires a 2-D estimator")
+        if mode not in ("exact", "binned"):
+            raise ConfigurationError(
+                f"grid evaluation mode must be 'exact' or 'binned', got {mode!r}"
+            )
         gx = np.asarray(grid_x, dtype=float)
         gy = np.asarray(grid_y, dtype=float)
         cache = key = None
         if self._kernel is gaussian_kernel:
             cache = get_density_cache()
             if cache is not None:
-                key = cache.key_for(self._points, self._bandwidth, gx, gy)
+                key = cache.key_for(self._points, self._bandwidth, gx, gy, mode=mode)
                 cached = cache.fetch(key)
                 if cached is not None:
                     return cached
-        hx, hy = self._bandwidth
-        n = self._points.shape[0]
-        ux = (gx[:, np.newaxis] - self._points[np.newaxis, :, 0]) / hx  # (px, n)
-        uy = (gy[:, np.newaxis] - self._points[np.newaxis, :, 1]) / hy  # (py, n)
-        kx = self._kernel(ux[..., np.newaxis])  # (px, n)
-        ky = self._kernel(uy[..., np.newaxis])  # (py, n)
-        norm = 1.0 / (n * hx * hy)
-        density = (kx @ ky.T) * norm
+        if mode == "binned":
+            from repro.density.binned import binned_density_grid
+
+            density = binned_density_grid(
+                self._points, self._bandwidth, gx, gy, kernel=self._kernel
+            )
+        else:
+            hx, hy = self._bandwidth
+            n = self._points.shape[0]
+            ux = (gx[:, np.newaxis] - self._points[np.newaxis, :, 0]) / hx  # (px, n)
+            uy = (gy[:, np.newaxis] - self._points[np.newaxis, :, 1]) / hy  # (py, n)
+            kx = self._kernel(ux[..., np.newaxis])  # (px, n)
+            ky = self._kernel(uy[..., np.newaxis])  # (py, n)
+            norm = 1.0 / (n * hx * hy)
+            density = (kx @ ky.T) * norm
         if key is not None:
             cache.put(key, density)
         return density

@@ -89,6 +89,8 @@ class VisualProfile:
         *,
         resolution: int = 40,
         bandwidth_scale: float = 1.0,
+        kde_mode: str = "exact",
+        kde_subsample: int = 4096,
     ) -> "VisualProfile":
         """Fit a density grid over the projected points and summarize it.
 
@@ -103,6 +105,16 @@ class VisualProfile:
             assumes unimodal data and over-smooths the multimodal
             projections this system lives on; values below 1 sharpen
             cluster boundaries.
+        kde_mode:
+            Density evaluation strategy — ``"exact"`` (default),
+            ``"binned"`` (histogram + separable blur), or
+            ``"subsampled"`` (KDE over a deterministic stride subsample
+            of at most *kde_subsample* points, with bandwidths still
+            fit on the full projection so smoothing does not drift with
+            the subsample size).  See :mod:`repro.density.binned` for
+            the cost model and error bounds.
+        kde_subsample:
+            Subsample size for ``kde_mode="subsampled"``.
         """
         q = np.asarray(query_2d, dtype=float)
         if q.shape != (2,):
@@ -110,22 +122,74 @@ class VisualProfile:
         pts = np.asarray(projected_points, dtype=float)
         _PROFILES_BUILT.inc()
         with span(
-            "profile.build", n=int(pts.shape[0]), resolution=resolution
+            "profile.build",
+            n=int(pts.shape[0]),
+            resolution=resolution,
+            kde_mode=kde_mode,
         ):
-            estimator = None
-            if bandwidth_scale != 1.0:
-                from repro.density.bandwidth import silverman_bandwidth
-                from repro.density.kde import KernelDensityEstimator
+            from repro.density.bandwidth import silverman_bandwidth
+            from repro.density.kde import KernelDensityEstimator
 
+            estimator = None
+            grid_mode = "exact"
+            if kde_mode == "binned":
+                grid_mode = "binned"
+                if bandwidth_scale != 1.0:
+                    estimator = KernelDensityEstimator(
+                        pts, bandwidth=bandwidth_scale * silverman_bandwidth(pts)
+                    )
+            elif kde_mode == "subsampled":
+                from repro.density.binned import subsample_indices
+
+                chosen = subsample_indices(pts.shape[0], kde_subsample)
+                # Bandwidths come from the *full* projection: the
+                # subsample only thins the kernel sum, it must not
+                # change how much each kernel smooths.
+                estimator = KernelDensityEstimator(
+                    pts[chosen],
+                    bandwidth=bandwidth_scale * silverman_bandwidth(pts),
+                )
+            elif bandwidth_scale != 1.0:
                 estimator = KernelDensityEstimator(
                     pts, bandwidth=bandwidth_scale * silverman_bandwidth(pts)
                 )
             grid = DensityGrid(
-                pts, resolution=resolution, include=q, estimator=estimator
+                pts,
+                resolution=resolution,
+                include=q,
+                estimator=estimator,
+                mode=grid_mode,
             )
             with span("profile.statistics"):
                 stats = compute_profile_statistics(grid, q, points=pts)
         return cls(grid=grid, query_2d=q, statistics=stats)
+
+    def exact_statistics(self, projected_points: np.ndarray) -> ProfileStatistics:
+        """Recompute the profile statistics with exact per-point KDE.
+
+        The approximate modes (``kde_mode="binned"``/``"subsampled"``)
+        trade grid fidelity for speed during the view-*search* phase;
+        once a view is *accepted* its statistics enter the session audit
+        trail, so the engine falls back to this exact recomputation for
+        accepted views only.  The exact profile is rebuilt from the same
+        inputs (same resolution, same grid bounds via the included
+        query), consuming no randomness — replay determinism is
+        unaffected.  On an already-exact profile this reproduces
+        ``self.statistics`` bit-for-bit.
+        """
+        pts = np.asarray(projected_points, dtype=float)
+        bandwidth = self.grid.estimator.bandwidth
+        from repro.density.kde import KernelDensityEstimator
+
+        estimator = KernelDensityEstimator(pts, bandwidth=bandwidth)
+        with span("profile.exact_statistics", n=int(pts.shape[0])):
+            grid = DensityGrid(
+                pts,
+                resolution=self.grid.resolution,
+                include=self.query_2d,
+                estimator=estimator,
+            )
+            return compute_profile_statistics(grid, self.query_2d, points=pts)
 
     def query_cluster_indices(
         self, projected_points: np.ndarray, threshold: float
@@ -188,19 +252,35 @@ def compute_profile_statistics(
     When *points* (the projected data) is given, ``mean_point_density``
     is the mean interpolated density at those points; otherwise the
     grid mean is used as a fallback.
+
+    Binned grids answer both per-point quantities from the grid alone,
+    keeping the whole summary free of ``O(n)`` kernel work: the query
+    density is bilinearly interpolated off the blurred surface (the
+    same surface every other statistic describes), and the mean point
+    density contracts the retained histogram against the density —
+    algebraically identical to interpolating at every point.
     """
     density = grid.density
-    query_density = float(grid.density_at(np.asarray(query_2d)[np.newaxis, :])[0])
+    q = np.asarray(query_2d, dtype=float)
+    if grid.mode == "binned":
+        query_density = float(grid.interpolate(q))
+    else:
+        query_density = float(grid.density_at(q[np.newaxis, :])[0])
     flat = density.ravel()
     peak = float(flat.max())
     median = float(np.median(flat))
     mean = float(flat.mean())
     percentile = float(np.mean(flat < query_density))
     peak_to_median = peak / median if median > 0 else float("inf")
-    if points is not None:
-        mean_point_density = float(np.mean(grid.interpolate(points)))
-    else:
+    if points is None:
         mean_point_density = mean
+    elif grid.histogram is not None:
+        hist = grid.histogram
+        mean_point_density = float(
+            (hist.counts * density).sum() / hist.total_weight
+        )
+    else:
+        mean_point_density = float(np.mean(grid.interpolate(points)))
     return ProfileStatistics(
         query_density=query_density,
         peak_density=peak,

@@ -311,6 +311,8 @@ class RemoteSessionDriver:
             "projection_weight": c.projection_weight,
             "remove_unpicked": c.remove_unpicked,
             "use_live_population": c.use_live_population,
+            "kde_mode": c.kde_mode,
+            "kde_subsample": c.kde_subsample,
             "rng_seed": c.rng_seed,
         }
 

@@ -233,6 +233,8 @@ def view_from_event(
         query_2d,
         resolution=config.grid_resolution,
         bandwidth_scale=config.bandwidth_scale,
+        kde_mode=config.kde_mode,
+        kde_subsample=config.kde_subsample,
     )
     return ProjectionView(
         profile=profile,

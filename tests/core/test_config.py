@@ -29,11 +29,25 @@ class TestSearchConfig:
             {"min_major_iterations": 5, "max_major_iterations": 4},
             {"projection_restarts": 0},
             {"projection_weight": 0.0},
+            {"kde_mode": "approximate"},
+            {"kde_mode": "EXACT"},
+            {"kde_subsample": 1},
         ],
     )
     def test_invalid_configs(self, kwargs):
         with pytest.raises(ConfigurationError):
             SearchConfig(**kwargs)
+
+    @pytest.mark.parametrize("mode", ["exact", "binned", "subsampled"])
+    def test_kde_modes_accepted(self, mode):
+        cfg = SearchConfig(kde_mode=mode, kde_subsample=128)
+        assert cfg.kde_mode == mode
+        assert cfg.kde_subsample == 128
+
+    def test_kde_defaults_exact(self):
+        cfg = SearchConfig()
+        assert cfg.kde_mode == "exact"
+        assert cfg.kde_subsample == 4096
 
     def test_frozen(self):
         cfg = SearchConfig()

@@ -96,3 +96,18 @@ class TestTransforms:
         labelled.normalized()
         labelled.standardized()
         assert np.array_equal(labelled.points, before)
+
+
+class TestFloatDtypePreservation:
+    def test_float32_points_kept(self):
+        pts = np.random.default_rng(0).standard_normal((10, 3))
+        ds = Dataset(points=pts.astype(np.float32))
+        assert ds.points.dtype == np.float32
+
+    def test_float64_points_kept(self):
+        pts = np.random.default_rng(0).standard_normal((10, 3))
+        assert Dataset(points=pts).points.dtype == np.float64
+
+    def test_integer_points_still_coerced(self):
+        ds = Dataset(points=np.array([[1, 2], [3, 4]], dtype=np.int32))
+        assert ds.points.dtype == np.float64

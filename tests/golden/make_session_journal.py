@@ -1,4 +1,4 @@
-"""Regenerate the committed golden session journal.
+"""Regenerate the committed golden session journals.
 
 ``session_journal_golden.jsonl`` is a flight-recorder journal of one
 small deterministic demo-style run (the paper's Case-1 workload, seed
@@ -8,16 +8,24 @@ so any behavioral drift in the engine — projection choice, density
 digests, RNG consumption, pruning, termination — shows up as a
 divergence at an exact sequence number.
 
+``session_journal_binned.jsonl`` and ``session_journal_subsampled.jsonl``
+are the same run under ``kde_mode="binned"`` / ``"subsampled"``: each
+approximate density mode carries its own committed behavioral record,
+so replay is byte-identical *per mode* and a change to an approximate
+evaluator cannot hide behind the exact-mode gate.
+
 Run from the repository root::
 
-    PYTHONPATH=src python tests/golden/make_session_journal.py
+    PYTHONPATH=src python tests/golden/make_session_journal.py [modes...]
 
-Only rerun this script deliberately: committing a regenerated journal
-re-baselines the behavioral record.
+With no arguments only the approximate-mode journals are regenerated —
+the exact-mode golden predates the kde_mode knob and re-baselining it
+is a deliberate act (pass ``exact`` explicitly).
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import numpy as np
@@ -30,34 +38,58 @@ from repro.interaction.oracle import OracleUser
 from repro.obs.journal import SessionJournal
 from repro.obs.replay import replay_journal
 
-OUT = Path(__file__).with_name("session_journal_golden.jsonl")
+HERE = Path(__file__).parent
+
+#: Output journal per kde_mode; the exact journal keeps its legacy name.
+OUTPUTS = {
+    "exact": HERE / "session_journal_golden.jsonl",
+    "binned": HERE / "session_journal_binned.jsonl",
+    "subsampled": HERE / "session_journal_subsampled.jsonl",
+}
 
 SEED = 7
 N_POINTS = 500
 SUPPORT = 12
+SUBSAMPLE = 200
 
 
-def main() -> None:
+def generate(mode: str) -> None:
+    """Write and verify the golden journal for one kde_mode."""
+    out = OUTPUTS[mode]
     data = case1_dataset(np.random.default_rng(SEED), n_points=N_POINTS)
     dataset = data.dataset
     query_index = int(dataset.cluster_indices(0)[0])
     journal = SessionJournal.create(
-        OUT,
+        out,
         provenance={"kind": "case1", "seed": SEED, "n_points": N_POINTS},
     )
-    engine = SearchEngine(
-        dataset, SearchConfig(support=SUPPORT), journal=journal
-    )
+    if mode == "exact":
+        config = SearchConfig(support=SUPPORT)
+    else:
+        # SUBSAMPLE < N_POINTS so the subsampled path genuinely thins
+        # the kernel sum instead of degenerating to exact evaluation.
+        config = SearchConfig(
+            support=SUPPORT, kde_mode=mode, kde_subsample=SUBSAMPLE
+        )
+    engine = SearchEngine(dataset, config, journal=journal)
     result = drive(
         engine, dataset.points[query_index], OracleUser(dataset, query_index)
     )
     journal.close()
-    report = replay_journal(OUT)
+    report = replay_journal(out)
     assert report.clean, report.describe()
     print(
-        f"wrote {OUT} ({report.records} records, "
+        f"wrote {out.name} ({report.records} records, "
         f"{result.session.total_views} views, replay clean)"
     )
+
+
+def main() -> None:
+    modes = sys.argv[1:] or ["binned", "subsampled"]
+    for mode in modes:
+        if mode not in OUTPUTS:
+            raise SystemExit(f"unknown kde_mode {mode!r}; known: {sorted(OUTPUTS)}")
+        generate(mode)
 
 
 if __name__ == "__main__":

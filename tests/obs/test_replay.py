@@ -252,21 +252,26 @@ class TestProvenance:
 
 
 class TestGoldenJournal:
-    def test_committed_golden_replays_clean(self):
-        """The committed flight-recorder baseline still reproduces.
+    @pytest.mark.parametrize(
+        "filename",
+        [
+            "session_journal_golden.jsonl",
+            "session_journal_binned.jsonl",
+            "session_journal_subsampled.jsonl",
+        ],
+    )
+    def test_committed_golden_replays_clean(self, filename):
+        """The committed flight-recorder baselines still reproduce.
 
-        Regenerate deliberately with
+        One journal per ``kde_mode`` (the legacy name is the exact
+        mode).  Regenerate deliberately with
         ``PYTHONPATH=src python tests/golden/make_session_journal.py``
         — a divergence here means engine behavior changed for the
-        pinned Case-1 workload.
+        pinned Case-1 workload under that density mode.
         """
         from pathlib import Path
 
-        golden = (
-            Path(__file__).parents[1]
-            / "golden"
-            / "session_journal_golden.jsonl"
-        )
+        golden = Path(__file__).parents[1] / "golden" / filename
         report = replay_journal(golden)
         assert report.clean, report.describe()
         assert report.finished
